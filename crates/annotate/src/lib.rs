@@ -1,0 +1,36 @@
+//! Annotation — Steps 4 and 5 of the paper's pipeline.
+//!
+//! The paper annotates image clusters with Know Your Meme (KYM)
+//! metadata: cluster medoids are matched against KYM gallery hashes at
+//! Hamming threshold θ = 8 (Step 5), after a CNN filters social-network
+//! screenshots out of the galleries (Step 4, Appendix C). Annotation
+//! quality is evaluated with a three-annotator panel and Fleiss' κ
+//! (Appendix B).
+//!
+//! * [`kym`] — the KYM data model (entries, six categories, tags,
+//!   origins, galleries);
+//! * [`nn`] — a from-scratch convolutional neural network (conv /
+//!   maxpool / dense / dropout / Adam) mirroring the Appendix-C
+//!   architecture;
+//! * [`screenshot`] — synthetic screenshot rendering, the training
+//!   corpus (Table 9), and classifier evaluation (Fig. 19: ROC / AUC,
+//!   accuracy, precision, recall, F1);
+//! * [`annotator`] — medoid↔entry matching and representative-entry
+//!   selection;
+//! * [`agreement`] — the simulated annotation panel reproducing the
+//!   Appendix-B κ computation.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // matrix/conv kernels read clearer with explicit indices
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod annotator;
+pub mod kym;
+pub mod nn;
+pub mod screenshot;
+
+pub use annotator::{annotate_clusters, ClusterAnnotation, EntryMatch, ANNOTATION_THETA};
+pub use kym::{KymCategory, KymEntry, KymSite};
+pub use nn::{Cnn, TrainConfig};
+pub use screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotFilter, SourcePlatform};

@@ -1,0 +1,78 @@
+//! Step-4/5 benchmarks: CNN inference/training and cluster annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meme_annotate::annotator::annotate_clusters;
+use meme_annotate::kym::{KymCategory, KymEntry, KymSite};
+use meme_annotate::nn::{Cnn, TrainConfig};
+use meme_annotate::screenshot::ScreenshotCorpus;
+use meme_phash::PHash;
+use meme_stats::seeded_rng;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn bench_cnn_inference(c: &mut Criterion) {
+    let corpus = ScreenshotCorpus::generate(0.002, 1);
+    let net = Cnn::new(2);
+    let input = &corpus.inputs[0];
+    c.bench_function("cnn_inference_32x32", |b| {
+        b.iter(|| black_box(net.predict_proba(black_box(input))))
+    });
+}
+
+fn bench_cnn_training(c: &mut Criterion) {
+    let corpus = ScreenshotCorpus::generate(0.002, 3);
+    let mut group = c.benchmark_group("cnn_train_epoch");
+    group.sample_size(10);
+    group.bench_function(format!("{}_images", corpus.len()).as_str(), |b| {
+        b.iter(|| {
+            let mut net = Cnn::new(4);
+            black_box(net.train(
+                &corpus.inputs,
+                &corpus.labels,
+                &TrainConfig {
+                    epochs: 1,
+                    ..TrainConfig::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    // 1K medoids vs a 200-entry site with 30-image galleries.
+    let mut rng = seeded_rng(5);
+    let entries: Vec<KymEntry> = (0..200)
+        .map(|id| {
+            let base = PHash(rng.random());
+            KymEntry {
+                id,
+                name: format!("entry {id}"),
+                category: KymCategory::Meme,
+                tags: vec![],
+                origin: "4chan".into(),
+                gallery: (0..30)
+                    .map(|k| base.with_flipped_bits(&[k as u8 % 64, (k * 7) as u8 % 64]))
+                    .collect(),
+                people: vec![],
+                cultures: vec![],
+            }
+        })
+        .collect();
+    let site = KymSite::new(entries);
+    let medoids: Vec<PHash> = (0..1000).map(|_| PHash(rng.random())).collect();
+    let mut group = c.benchmark_group("annotate_clusters");
+    group.sample_size(20);
+    group.bench_function("1k_medoids_vs_6k_gallery", |b| {
+        b.iter(|| black_box(annotate_clusters(&medoids, &site, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cnn_inference,
+    bench_cnn_training,
+    bench_annotation
+);
+criterion_main!(benches);

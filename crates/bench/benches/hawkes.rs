@@ -1,0 +1,88 @@
+//! Step-7 benchmarks: Hawkes simulation, EM vs Gibbs fitting cost, and
+//! root-cause attribution — the EM-vs-Gibbs ablation's cost half.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meme_hawkes::{
+    fit_em, fit_gibbs, root_cause_matrix, simulate_branching, strip_lineage, EmConfig, Event,
+    GibbsConfig, HawkesModel,
+};
+use meme_stats::seeded_rng;
+use std::hint::black_box;
+
+fn model() -> HawkesModel {
+    HawkesModel::new(
+        vec![0.5, 0.2, 0.1, 0.05, 0.08],
+        vec![
+            vec![0.30, 0.02, 0.02, 0.01, 0.02],
+            vec![0.03, 0.33, 0.06, 0.01, 0.02],
+            vec![0.02, 0.03, 0.30, 0.01, 0.01],
+            vec![0.02, 0.02, 0.01, 0.25, 0.01],
+            vec![0.10, 0.15, 0.08, 0.05, 0.30],
+        ],
+        3.0,
+    )
+    .expect("valid model")
+}
+
+fn events(horizon: f64, seed: u64) -> Vec<Event> {
+    let mut rng = seeded_rng(seed);
+    strip_lineage(&simulate_branching(&model(), horizon, &mut rng))
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let m = model();
+    let mut group = c.benchmark_group("simulate_branching");
+    for &horizon in &[100.0f64, 1000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon as u64),
+            &horizon,
+            |b, &h| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = seeded_rng(seed);
+                    black_box(simulate_branching(&m, h, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let evs = events(400.0, 11);
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    group.bench_function(format!("em_{}events", evs.len()).as_str(), |b| {
+        let cfg = EmConfig {
+            beta: 3.0,
+            max_iters: 50,
+            ..EmConfig::default()
+        };
+        b.iter(|| black_box(fit_em(&evs, 5, 400.0, &cfg)))
+    });
+    group.bench_function(format!("gibbs_{}events", evs.len()).as_str(), |b| {
+        let cfg = GibbsConfig {
+            beta: 3.0,
+            samples: 50,
+            burn_in: 25,
+            ..GibbsConfig::default()
+        };
+        b.iter(|| {
+            let mut rng = seeded_rng(12);
+            black_box(fit_gibbs(&evs, 5, 400.0, &cfg, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let m = model();
+    let evs = events(1000.0, 13);
+    c.bench_function(format!("root_cause_{}events", evs.len()).as_str(), |b| {
+        b.iter(|| black_box(root_cause_matrix(&m, &evs)))
+    });
+}
+
+criterion_group!(benches, bench_simulation, bench_fitting, bench_attribution);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! §2.3 benchmarks: the custom distance metric, the τ ablation, and
+//! Fig. 7 graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meme_core::graph::{ClusterGraph, GraphConfig};
+use meme_core::metric::{ClusterDescriptor, ClusterDistance};
+use meme_phash::PHash;
+use meme_stats::seeded_rng;
+use rand::RngExt;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn descriptors(n: usize, seed: u64) -> (Vec<ClusterDescriptor>, Vec<String>) {
+    let mut rng = seeded_rng(seed);
+    let memes = ["Smug Frog", "Sad Frog", "Pepe", "Roll Safe", "MAGA"];
+    let mut ds = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let meme = memes[rng.random_range(0..memes.len())];
+        ds.push(ClusterDescriptor {
+            medoid: PHash(rng.random()),
+            annotated: true,
+            memes: HashSet::from([meme.to_string()]),
+            people: HashSet::new(),
+            cultures: HashSet::from(["Frog Memes".to_string()]),
+        });
+        labels.push(meme.to_string());
+    }
+    (ds, labels)
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let (ds, _) = descriptors(2, 1);
+    let metric = ClusterDistance::default();
+    c.bench_function("metric_distance_full_mode", |b| {
+        b.iter(|| black_box(metric.distance(black_box(&ds[0]), black_box(&ds[1]))))
+    });
+}
+
+fn bench_condensed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condensed_matrix");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let (ds, _) = descriptors(n, 2);
+        let metric = ClusterDistance::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(metric.condensed_matrix(&ds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_ablation(c: &mut Criterion) {
+    // τ changes nothing about cost, but the ablation binary reuses this
+    // to show throughput is τ-independent while clustering quality is
+    // not.
+    let (ds, _) = descriptors(200, 3);
+    let mut group = c.benchmark_group("tau_ablation");
+    group.sample_size(10);
+    for &tau in &[1.0f64, 25.0, 64.0] {
+        let metric = ClusterDistance::with_tau(tau);
+        group.bench_with_input(BenchmarkId::from_parameter(tau as u64), &tau, |b, _| {
+            b.iter(|| black_box(metric.condensed_matrix(&ds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let (ds, labels) = descriptors(400, 4);
+    let metric = ClusterDistance::default();
+    let config = GraphConfig {
+        kappa: 0.45,
+        min_degree: 2,
+    };
+    let mut group = c.benchmark_group("fig7_graph_build");
+    group.sample_size(10);
+    group.bench_function("400_clusters", |b| {
+        b.iter(|| black_box(ClusterGraph::build(&ds, &labels, &metric, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance,
+    bench_condensed,
+    bench_tau_ablation,
+    bench_graph
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Step-1 benchmarks: image rendering, DCT, and the three hashing
+//! algorithms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use meme_imaging::dct::Dct2d;
+use meme_imaging::synth::TemplateGenome;
+use meme_phash::{AverageHasher, DifferenceHasher, ImageHasher, PerceptualHasher};
+use std::hint::black_box;
+
+fn bench_render(c: &mut Criterion) {
+    c.bench_function("render_template_64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(TemplateGenome::new(seed).render(64))
+        })
+    });
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let plan = Dct2d::new(32);
+    let input: Vec<f64> = (0..32 * 32).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("dct2d_32x32", |b| {
+        b.iter(|| black_box(plan.forward(black_box(&input))))
+    });
+}
+
+fn bench_hashers(c: &mut Criterion) {
+    let img = TemplateGenome::new(7).render(64);
+    let mut group = c.benchmark_group("hashers");
+    group.bench_function("phash", |b| {
+        let h = PerceptualHasher::new();
+        b.iter(|| black_box(h.hash(black_box(&img))))
+    });
+    group.bench_function("ahash", |b| {
+        b.iter(|| black_box(AverageHasher.hash(black_box(&img))))
+    });
+    group.bench_function("dhash", |b| {
+        b.iter(|| black_box(DifferenceHasher.hash(black_box(&img))))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_hash(c: &mut Criterion) {
+    // The §7 unit of work: render + hash one image.
+    c.bench_function("render_and_phash", |b| {
+        let h = PerceptualHasher::new();
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                TemplateGenome::new(seed).render(64)
+            },
+            |img| black_box(h.hash(&img)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_render,
+    bench_dct,
+    bench_hashers,
+    bench_end_to_end_hash
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Data-substrate benchmarks: cascade generation and full dataset
+//! assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use meme_simweb::{generate_cascade, CascadeConfig, SimConfig, Universe, UniverseConfig};
+use meme_stats::seeded_rng;
+use std::hint::black_box;
+
+fn bench_cascade(c: &mut Criterion) {
+    let universe = Universe::generate(
+        &UniverseConfig {
+            n_memes: 40,
+            ..UniverseConfig::default()
+        },
+        1,
+    );
+    let spec = &universe.specs[0];
+    let cfg = CascadeConfig::default();
+    c.bench_function("cascade_one_variant_396d", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            black_box(generate_cascade(spec, 0, &cfg, &mut rng))
+        })
+    });
+}
+
+fn bench_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe_generate");
+    group.sample_size(20);
+    group.bench_function("250_memes", |b| {
+        let cfg = UniverseConfig {
+            n_memes: 250,
+            ..UniverseConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Universe::generate(&cfg, seed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generate_posts");
+    group.sample_size(10);
+    group.bench_function("tiny", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(SimConfig::tiny(seed).generate().posts.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade, bench_universe, bench_dataset);
+criterion_main!(benches);

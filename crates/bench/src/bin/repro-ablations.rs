@@ -1,0 +1,9 @@
+//! Runs the design-choice ablations: hashing algorithm, custom-metric
+//! weights, DBSCAN minPts.
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::ablations::ablation_hashers(&r);
+    meme_bench::ablations::ablation_metric_weights(&r);
+    meme_bench::ablations::ablation_min_pts(&r);
+    meme_bench::ablations::ablation_beta(&r);
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment in sequence over one shared pipeline run —
+//! the full evaluation of the paper in a single binary.
+fn main() {
+    meme_bench::sections::fig3();
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table1(&r);
+    let runs = meme_bench::sections::community_runs(&r);
+    meme_bench::sections::table2(&r, &runs);
+    meme_bench::sections::table3(&r, &runs);
+    meme_bench::sections::table4(&r);
+    meme_bench::sections::table5(&r);
+    meme_bench::sections::table6(&r);
+    meme_bench::sections::fig4(&r);
+    meme_bench::sections::fig5(&r);
+    meme_bench::sections::fig6(&r);
+    meme_bench::sections::fig7(&r);
+    meme_bench::sections::fig8(&r);
+    meme_bench::sections::fig9(&r);
+    meme_bench::sections::fig10(r.opts.seed);
+    meme_bench::sections::table7(&r);
+    meme_bench::sections::fig11_12(&r);
+    meme_bench::sections::fig13_16(&r);
+    meme_bench::sections::table8_fig17(&r);
+    meme_bench::sections::table9_fig19(r.opts.seed);
+    meme_bench::sections::perf(&r);
+    meme_bench::ablations::ablation_hashers(&r);
+    meme_bench::ablations::ablation_metric_weights(&r);
+    meme_bench::ablations::ablation_min_pts(&r);
+    meme_bench::ablations::ablation_beta(&r);
+    meme_bench::ablations::provenance(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (Hawkes mechanics illustration).
+fn main() {
+    let opts = meme_bench::harness::Options::from_args();
+    meme_bench::sections::fig10(opts.seed);
+}

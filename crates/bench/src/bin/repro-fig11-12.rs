@@ -1,0 +1,6 @@
+//! Regenerates Figs. 11-12 (raw and normalized community influence).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table7(&r);
+    meme_bench::sections::fig11_12(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figs. 13-16 (influence split by racist/political groups).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig13_16(&r);
+}

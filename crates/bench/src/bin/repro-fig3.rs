@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3 (r_perceptual decay curves).
+fn main() {
+    meme_bench::sections::fig3();
+}

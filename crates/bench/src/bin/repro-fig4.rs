@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 (KYM dataset statistics).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig4(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5 (entries-per-cluster / clusters-per-entry CDFs).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig5(&r);
+}

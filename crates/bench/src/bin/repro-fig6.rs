@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6 (frog-meme phylogeny dendrogram).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig6(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7 (cluster graph at kappa = 0.45, with DOT/JSON export).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig7(&r);
+}

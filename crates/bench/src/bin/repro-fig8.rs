@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (percentage of posts per day with memes).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig8(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (score distributions on Reddit and Gab).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::fig9(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §7 performance measurement (association throughput).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::perf(&r);
+}

@@ -1,0 +1,5 @@
+//! Runs the §7 future-work extensions: origin inference and virality.
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::ablations::provenance(&r);
+}

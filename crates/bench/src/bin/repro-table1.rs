@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (dataset overview).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table1(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2 (clustering statistics) and the Appendix-B
+//! annotation-quality panel.
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    let runs = meme_bench::sections::community_runs(&r);
+    meme_bench::sections::table2(&r, &runs);
+}

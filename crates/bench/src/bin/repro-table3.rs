@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (top KYM entries by clusters per fringe community).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    let runs = meme_bench::sections::community_runs(&r);
+    meme_bench::sections::table3(&r, &runs);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (top meme entries by posts per community).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table4(&r);
+}

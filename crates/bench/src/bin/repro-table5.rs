@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (top 'people' entries by posts per community).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table5(&r);
+}

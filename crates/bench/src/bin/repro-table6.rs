@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (top subreddits for all/racist/political memes).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table6(&r);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 7 (meme events per community).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table7(&r);
+}

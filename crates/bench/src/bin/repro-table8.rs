@@ -1,0 +1,5 @@
+//! Regenerates Table 8 and Fig. 17 (Appendix A: DBSCAN distance sweep).
+fn main() {
+    let r = meme_bench::harness::Repro::from_args();
+    meme_bench::sections::table8_fig17(&r);
+}

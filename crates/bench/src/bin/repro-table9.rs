@@ -1,0 +1,5 @@
+//! Regenerates Table 9 and Fig. 19 (Appendix C: screenshot classifier).
+fn main() {
+    let opts = meme_bench::harness::Options::from_args();
+    meme_bench::sections::table9_fig19(opts.seed);
+}

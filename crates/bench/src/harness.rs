@@ -1,0 +1,136 @@
+//! Shared setup for the `repro-*` binaries.
+
+use meme_core::pipeline::{Pipeline, PipelineConfig, PipelineOutput, ScreenshotFilterMode};
+use meme_simweb::{Dataset, SimConfig, SimScale};
+use std::time::Instant;
+
+/// Parsed command-line options common to every repro binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Dataset scale.
+    pub scale: SimScale,
+    /// Master seed.
+    pub seed: u64,
+    /// Train the real CNN screenshot filter instead of the oracle.
+    pub train_filter: bool,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+}
+
+impl Options {
+    /// Parse from `std::env::args`. Recognized flags:
+    /// `--scale tiny|small|default`, `--seed N`, `--train-filter`,
+    /// `--threads N`.
+    pub fn from_args() -> Self {
+        let mut opts = Self {
+            scale: SimScale::Small,
+            seed: 1,
+            train_filter: false,
+            threads: 0,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => SimScale::Tiny,
+                        Some("small") => SimScale::Small,
+                        Some("default") => SimScale::Default,
+                        other => {
+                            eprintln!("unknown scale {other:?}; using small");
+                            SimScale::Small
+                        }
+                    };
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("bad --seed; using 1");
+                            1
+                        });
+                }
+                "--train-filter" => opts.train_filter = true,
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// A generated dataset plus the completed pipeline run.
+pub struct Repro {
+    /// The options used.
+    pub opts: Options,
+    /// The synthetic corpus.
+    pub dataset: Dataset,
+    /// Steps 1–6 output.
+    pub output: PipelineOutput,
+}
+
+impl Repro {
+    /// Generate the dataset and run the pipeline, logging wall times.
+    pub fn build(opts: Options) -> Self {
+        eprintln!(
+            "[repro] generating dataset (scale {:?}, seed {})...",
+            opts.scale, opts.seed
+        );
+        let t0 = Instant::now();
+        let dataset = SimConfig::new(opts.scale, opts.seed).generate();
+        eprintln!(
+            "[repro]   {} image posts, {} memes, {} KYM entries ({:.1?})",
+            dataset.posts.len(),
+            dataset.universe.len(),
+            dataset.kym_raw.len(),
+            t0.elapsed()
+        );
+        let config = PipelineConfig {
+            screenshot_filter: if opts.train_filter {
+                ScreenshotFilterMode::Train {
+                    corpus_scale: 0.01,
+                    config: Default::default(),
+                }
+            } else {
+                ScreenshotFilterMode::Oracle
+            },
+            threads: opts.threads,
+            ..PipelineConfig::default()
+        };
+        let t1 = Instant::now();
+        eprintln!("[repro] running pipeline (steps 1-6)...");
+        let output = Pipeline::new(config)
+            .run(&dataset)
+            .expect("pipeline runs on generated data");
+        eprintln!(
+            "[repro]   {} clusters ({} annotated), {} matched posts ({:.1?})",
+            output.clustering.n_clusters(),
+            output.annotated_clusters().len(),
+            output.occurrences.iter().flatten().count(),
+            t1.elapsed()
+        );
+        Self {
+            opts,
+            dataset,
+            output,
+        }
+    }
+
+    /// Build from CLI args.
+    pub fn from_args() -> Self {
+        Self::build(Options::from_args())
+    }
+}
+
+/// Print a section header matching the paper's table/figure numbering.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,19 @@
+//! Benchmark harness and experiment regeneration for the
+//! `origins-of-memes` reproduction.
+//!
+//! * [`harness`] — shared CLI parsing and dataset/pipeline setup for
+//!   the `repro-*` binaries (one binary per paper table/figure; see
+//!   DESIGN.md §4 for the index);
+//! * [`sections`] — the per-experiment implementations, shared between
+//!   the individual binaries and `repro-all`.
+//!
+//! Criterion benches live in `benches/`: pHash throughput, index-engine
+//! comparison (the §7 performance discussion), DBSCAN scaling, Hawkes
+//! fitting, the custom metric, and the end-to-end pipeline.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // community-matrix loops read clearer with explicit indices
+
+pub mod ablations;
+pub mod harness;
+pub mod sections;

@@ -1,0 +1,304 @@
+//! DBSCAN over precomputed neighbourhoods.
+//!
+//! The expensive part of DBSCAN on 64-bit perceptual hashes is the radius
+//! query, which `meme-index` already solves; this module implements the
+//! label-propagation half. Separating the two lets the pipeline reuse one
+//! adjacency computation across parameter sweeps (Appendix A, Table 8)
+//! and keeps this code independent of the index engine.
+
+use crate::medoid::medoid_of_hashes;
+use meme_index::{all_neighbors, HammingIndex};
+use meme_phash::PHash;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// DBSCAN parameters. The paper's production setting is
+/// `eps = 8, min_pts = 5`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbscanParams {
+    /// Radius of the Hamming eps-neighbourhood.
+    pub eps: u32,
+    /// Minimum neighbourhood size (including the point itself) for a
+    /// point to be a core point. DBSCAN noise in the paper's words:
+    /// "there are less than 5 images with perceptual distance ≤ 8 from
+    /// that particular instance".
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        Self { eps: 8, min_pts: 5 }
+    }
+}
+
+/// The result of a clustering run: a cluster label per item (`None` =
+/// noise) and derived statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    labels: Vec<Option<usize>>,
+    n_clusters: usize,
+}
+
+impl Clustering {
+    /// Per-item labels; `None` marks noise.
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Number of clusters found.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of noise items.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Fraction of items labeled noise (Table 2 reports 63%–69%).
+    pub fn noise_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.noise_count() as f64 / self.labels.len() as f64
+    }
+
+    /// Item indices of one cluster.
+    pub fn members(&self, cluster: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Some(cluster))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All clusters as member lists, indexed by cluster id.
+    pub fn all_members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(c) = l {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Cluster sizes indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_clusters];
+        for l in self.labels.iter().flatten() {
+            out[*l] += 1;
+        }
+        out
+    }
+
+    /// Medoid item index of each cluster, given the item hashes
+    /// (Step 5's cluster representative).
+    pub fn medoids(&self, hashes: &[PHash]) -> Vec<usize> {
+        self.all_members()
+            .iter()
+            .map(|members| medoid_of_hashes(hashes, members).expect("clusters are non-empty"))
+            .collect()
+    }
+}
+
+/// Run DBSCAN given each item's (self-exclusive) radius neighbourhood.
+///
+/// Deterministic: clusters are numbered by the order their first core
+/// point appears. Border points are assigned to the first cluster that
+/// reaches them (the standard tie-break).
+///
+/// # Panics
+/// Panics when `min_pts == 0`.
+pub fn dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Clustering {
+    assert!(min_pts > 0, "min_pts must be at least 1");
+    let n = neighbors.len();
+    // +1: the neighbourhood includes the point itself in DBSCAN's
+    // definition; our adjacency lists exclude it.
+    let is_core: Vec<bool> = neighbors.iter().map(|nb| nb.len() + 1 >= min_pts).collect();
+
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut n_clusters = 0usize;
+    let mut queue = VecDeque::new();
+
+    for start in 0..n {
+        if visited[start] || !is_core[start] {
+            continue;
+        }
+        let cluster = n_clusters;
+        n_clusters += 1;
+        queue.push_back(start);
+        visited[start] = true;
+        labels[start] = Some(cluster);
+        while let Some(p) = queue.pop_front() {
+            for &q in &neighbors[p] {
+                if labels[q].is_none() {
+                    labels[q] = Some(cluster);
+                }
+                if !visited[q] && is_core[q] {
+                    visited[q] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    Clustering { labels, n_clusters }
+}
+
+/// Convenience: compute neighbourhoods from a Hamming index and run
+/// DBSCAN in one call, parallelizing the pairwise stage over `threads`
+/// workers (0 = all cores).
+pub fn dbscan_with_index<I: HammingIndex + Sync>(
+    index: &I,
+    params: DbscanParams,
+    threads: usize,
+) -> Clustering {
+    let neighbors = all_neighbors(index, params.eps, threads);
+    dbscan(&neighbors, params.min_pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meme_index::BruteForceIndex;
+    use meme_stats::seeded_rng;
+    use rand::RngExt;
+
+    /// Build self-exclusive adjacency from an explicit edge list.
+    fn adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan(&[], 5);
+        assert!(c.is_empty());
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.noise_fraction(), 0.0);
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        // 4 isolated points, min_pts 2 -> all noise.
+        let c = dbscan(&adjacency(4, &[]), 2);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.noise_count(), 4);
+        assert_eq!(c.noise_fraction(), 1.0);
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        let c = dbscan(&adjacency(3, &[]), 1);
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn two_separate_cliques() {
+        // Clique {0,1,2} and clique {3,4,5}, min_pts = 3.
+        let edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)];
+        let c = dbscan(&adjacency(6, &edges), 3);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.labels()[0], c.labels()[1]);
+        assert_eq!(c.labels()[0], c.labels()[2]);
+        assert_eq!(c.labels()[3], c.labels()[4]);
+        assert_ne!(c.labels()[0], c.labels()[3]);
+        assert_eq!(c.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn border_point_joins_cluster_but_does_not_expand() {
+        // Clique {0,1,2,3} with min_pts 4: all four are core. Point 4 is
+        // attached to 3 only (2 points in its neighbourhood, not core) —
+        // a border point. Point 5 hangs off the border point; since 4 is
+        // not core, expansion stops and 5 stays noise.
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+        ];
+        let c = dbscan(&adjacency(6, &edges), 4);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.labels()[4], Some(0)); // border
+        assert_eq!(c.labels()[5], None); // noise beyond border
+    }
+
+    #[test]
+    fn chain_of_core_points_forms_one_cluster() {
+        // Path 0-1-2-3-4 with min_pts 2: every point is core
+        // (>= 1 neighbour + self), density-connectivity chains them.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4)];
+        let c = dbscan(&adjacency(5, &edges), 2);
+        assert_eq!(c.n_clusters(), 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn members_and_all_members_agree() {
+        let edges = [(0, 1), (0, 2), (1, 2)];
+        let c = dbscan(&adjacency(4, &edges), 3);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+        assert_eq!(c.all_members(), vec![vec![0, 1, 2]]);
+        assert_eq!(c.labels()[3], None);
+    }
+
+    #[test]
+    fn with_index_end_to_end() {
+        // Two tight hash families + isolated noise.
+        let mut rng = seeded_rng(8);
+        let mut hashes = Vec::new();
+        for _ in 0..2 {
+            let center = PHash(rng.random());
+            for k in 0..6u8 {
+                hashes.push(center.with_flipped_bits(&[k % 3]));
+            }
+        }
+        hashes.push(PHash(rng.random()));
+        let idx = BruteForceIndex::new(hashes.clone());
+        let c = dbscan_with_index(&idx, DbscanParams::default(), 1);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.noise_count(), 1);
+        let medoids = c.medoids(&hashes);
+        assert_eq!(medoids.len(), 2);
+        // Medoid of the first cluster is one of its members.
+        assert!(c.members(0).contains(&medoids[0]));
+    }
+
+    #[test]
+    fn deterministic_labeling() {
+        let mut rng = seeded_rng(9);
+        let hashes: Vec<PHash> = (0..100).map(|_| PHash(rng.random::<u64>() & 0xFFFF)).collect();
+        let idx = BruteForceIndex::new(hashes);
+        let a = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 1);
+        let b = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn zero_min_pts_panics() {
+        let _ = dbscan(&[], 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Agglomerative hierarchical clustering.
+//!
+//! §4.1.2 builds a dendrogram of meme clusters under the custom distance
+//! metric (Fig. 6: 525 frog clusters grouped into four large families)
+//! and cuts it at a threshold to find families. This module implements
+//! agglomerative clustering with the Lance–Williams update for the
+//! standard linkages; the paper's figure uses average linkage.
+
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — the paper's choice.
+    Average,
+}
+
+/// One merge step: clusters `a` and `b` (node ids) merge at `height`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node (leaf ids are `0..n`, internal ids `n..`).
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Cophenetic distance at which the merge happens.
+    pub height: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// A full agglomerative clustering of `n` leaves: `n - 1` merges,
+/// non-decreasing in height for the monotone linkages implemented here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cluster `n` items given their condensed pairwise distance matrix
+    /// (`dist(i, j)` for `i < j` at the standard condensed offset) —
+    /// use [`condensed_index`] to build it. Returns `None` when `n == 0`
+    /// or the matrix length is not `n (n - 1) / 2`.
+    pub fn build(n: usize, condensed: &[f64], linkage: Linkage) -> Option<Self> {
+        if n == 0 || condensed.len() != n * (n - 1) / 2 {
+            return None;
+        }
+        if condensed.iter().any(|d| d.is_nan()) {
+            return None;
+        }
+        // Active cluster bookkeeping: each active cluster has a node id,
+        // a leaf count, and a row of distances to every other active
+        // cluster (full symmetric matrix for simplicity; n here is the
+        // number of *clusters*, which stays modest in our workloads).
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = condensed[condensed_index(n, i, j)];
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let mut node_id: Vec<usize> = (0..n).collect();
+        let mut size: Vec<usize> = vec![1; n];
+        let mut active: Vec<bool> = vec![true; n];
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut next_id = n;
+
+        for _ in 0..n.saturating_sub(1) {
+            // Find the closest active pair.
+            let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if active[j] && dist[i * n + j] < best.2 {
+                        best = (i, j, dist[i * n + j]);
+                    }
+                }
+            }
+            let (i, j, h) = best;
+            debug_assert!(i != usize::MAX, "pair search must find a pair");
+            merges.push(Merge {
+                a: node_id[i],
+                b: node_id[j],
+                height: h,
+                size: size[i] + size[j],
+            });
+            // Lance–Williams update into slot i; deactivate j.
+            for k in 0..n {
+                if !active[k] || k == i || k == j {
+                    continue;
+                }
+                let dik = dist[i * n + k];
+                let djk = dist[j * n + k];
+                let new = match linkage {
+                    Linkage::Single => dik.min(djk),
+                    Linkage::Complete => dik.max(djk),
+                    Linkage::Average => {
+                        let (si, sj) = (size[i] as f64, size[j] as f64);
+                        (si * dik + sj * djk) / (si + sj)
+                    }
+                };
+                dist[i * n + k] = new;
+                dist[k * n + i] = new;
+            }
+            active[j] = false;
+            size[i] += size[j];
+            node_id[i] = next_id;
+            next_id += 1;
+        }
+        Some(Self {
+            n_leaves: n,
+            merges,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge sequence (in merge order).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the tree at `threshold`: merges with `height <= threshold`
+    /// are applied, yielding a flat cluster label per leaf (labels are
+    /// densely renumbered in first-leaf order).
+    pub fn cut(&self, threshold: f64) -> Vec<usize> {
+        // Union-find over leaves.
+        let mut parent: Vec<usize> = (0..self.n_leaves).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // Map node id -> representative leaf.
+        let mut rep: Vec<usize> = (0..self.n_leaves).collect();
+        for m in self.merges.iter() {
+            
+            let ra = rep[m.a];
+            let rb = rep[m.b];
+            rep.push(ra);
+            if m.height <= threshold {
+                let (ra, rb) = (find(&mut parent, ra), find(&mut parent, rb));
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        // Dense renumbering.
+        let mut labels = vec![usize::MAX; self.n_leaves];
+        let mut next = 0usize;
+        for leaf in 0..self.n_leaves {
+            let root = find(&mut parent, leaf);
+            if labels[root] == usize::MAX {
+                labels[root] = next;
+                next += 1;
+            }
+            labels[leaf] = labels[root];
+        }
+        labels
+    }
+
+    /// Heights of all merges, in merge order.
+    pub fn heights(&self) -> Vec<f64> {
+        self.merges.iter().map(|m| m.height).collect()
+    }
+}
+
+/// Offset of pair `(i, j)`, `i < j`, in a condensed distance matrix of
+/// `n` items (SciPy's `pdist` layout).
+///
+/// # Panics
+/// Panics when `i >= j` or `j >= n`.
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    assert!(i < j && j < n, "need i < j < n");
+    n * i - i * (i + 1) / 2 + (j - i - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distances for 4 points on a line at 0, 1, 10, 11.
+    fn line_condensed() -> (usize, Vec<f64>) {
+        let pos: [f64; 4] = [0.0, 1.0, 10.0, 11.0];
+        let n = pos.len();
+        let mut c = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.push((pos[i] - pos[j]).abs());
+            }
+        }
+        (n, c)
+    }
+
+    #[test]
+    fn condensed_index_layout() {
+        // n=4: pairs in order (0,1)(0,2)(0,3)(1,2)(1,3)(2,3).
+        assert_eq!(condensed_index(4, 0, 1), 0);
+        assert_eq!(condensed_index(4, 0, 3), 2);
+        assert_eq!(condensed_index(4, 1, 2), 3);
+        assert_eq!(condensed_index(4, 2, 3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "i < j")]
+    fn condensed_index_rejects_diagonal() {
+        let _ = condensed_index(4, 2, 2);
+    }
+
+    #[test]
+    fn build_validates_input() {
+        assert!(Dendrogram::build(0, &[], Linkage::Average).is_none());
+        assert!(Dendrogram::build(3, &[1.0], Linkage::Average).is_none());
+        assert!(Dendrogram::build(2, &[f64::NAN], Linkage::Average).is_none());
+    }
+
+    #[test]
+    fn single_leaf_has_no_merges() {
+        let d = Dendrogram::build(1, &[], Linkage::Average).unwrap();
+        assert_eq!(d.merges().len(), 0);
+        assert_eq!(d.cut(0.0), vec![0]);
+    }
+
+    #[test]
+    fn two_pairs_merge_before_bridging() {
+        let (n, c) = line_condensed();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = Dendrogram::build(n, &c, linkage).unwrap();
+            assert_eq!(d.merges().len(), 3);
+            // First two merges join {0,1} and {10,11} at height 1.
+            assert_eq!(d.merges()[0].height, 1.0);
+            assert_eq!(d.merges()[1].height, 1.0);
+            assert!(d.merges()[2].height > 5.0);
+            // Cut between: two flat clusters.
+            let labels = d.cut(2.0);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[2], labels[3]);
+            assert_ne!(labels[0], labels[2]);
+            // Cut above everything: one cluster.
+            assert!(d.cut(100.0).iter().all(|&l| l == 0));
+            // Cut below everything: all singletons.
+            let singles = d.cut(0.5);
+            assert_eq!(singles, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn linkage_heights_ordering() {
+        let (n, c) = line_condensed();
+        let s = Dendrogram::build(n, &c, Linkage::Single).unwrap();
+        let a = Dendrogram::build(n, &c, Linkage::Average).unwrap();
+        let k = Dendrogram::build(n, &c, Linkage::Complete).unwrap();
+        // Final merge: single = 9 (closest cross pair), complete = 11
+        // (farthest), average in between.
+        let hs = s.merges()[2].height;
+        let ha = a.merges()[2].height;
+        let hk = k.merges()[2].height;
+        assert_eq!(hs, 9.0);
+        assert_eq!(hk, 11.0);
+        assert!(hs < ha && ha < hk);
+    }
+
+    #[test]
+    fn heights_are_monotone_for_average_linkage() {
+        // Random-ish symmetric distances.
+        let n = 8;
+        let mut c = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.push(((i * 7 + j * 13) % 23) as f64 + 1.0);
+            }
+        }
+        let d = Dendrogram::build(n, &c, Linkage::Average).unwrap();
+        let hs = d.heights();
+        for w in hs.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "average linkage must be monotone: {hs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_labels_are_dense_and_stable() {
+        let (n, c) = line_condensed();
+        let d = Dendrogram::build(n, &c, Linkage::Average).unwrap();
+        let labels = d.cut(2.0);
+        // Dense from 0, first-leaf order.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[2], 1);
+    }
+}

@@ -1,0 +1,626 @@
+//! The seven-step processing pipeline (Fig. 2).
+//!
+//! [`Pipeline::run`] drives a [`meme_simweb::Dataset`] through:
+//!
+//! 1. **pHash extraction** — render each post's image lazily, hash it,
+//!    drop the pixels (the paper: "after computing the pHashes, we
+//!    delete the images");
+//! 2. **pairwise distances** — multi-index hashing over the fringe
+//!    communities' hashes;
+//! 3. **clustering** — DBSCAN at `eps = 8`, `minPts = 5`, then medoids;
+//! 4. **screenshot removal** — the CNN filter over KYM galleries (or a
+//!    ground-truth oracle for fast tests);
+//! 5. **cluster annotation** — medoids vs KYM galleries at `θ = 8`,
+//!    representative-entry selection;
+//! 6. **association** — every post (all five communities) matched
+//!    against annotated-cluster medoids at `θ`;
+//! 7. **analysis & influence** — per-cluster event streams feeding the
+//!    Hawkes influence estimator ([`PipelineOutput::cluster_events`],
+//!    [`PipelineOutput::estimate_influence`]).
+
+use crate::metric::ClusterDescriptor;
+use meme_annotate::annotator::{annotate_clusters, ClusterAnnotation};
+use meme_annotate::kym::{KymEntry, KymSite};
+use meme_annotate::nn::TrainConfig;
+use meme_annotate::screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotFilter};
+use meme_cluster::dbscan::{dbscan, Clustering, DbscanParams};
+use meme_hawkes::{ClusterInfluence, Event, HawkesError, InfluenceEstimator};
+use meme_index::{all_neighbors, HammingIndex, MihIndex};
+use meme_phash::{ImageHasher, PHash, PerceptualHasher};
+use meme_simweb::{Community, Dataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How Step 4 decides what a screenshot is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScreenshotFilterMode {
+    /// Train the Appendix-C CNN on a synthetic corpus of the given
+    /// scale (fraction of the paper's 28.8K images), then classify.
+    Train {
+        /// Corpus scale.
+        corpus_scale: f64,
+        /// CNN training configuration.
+        config: TrainConfig,
+    },
+    /// Use the generator's ground truth (exact, instant) — for tests
+    /// and ablations that are not about the classifier.
+    Oracle,
+    /// No filtering (ablation: how much do screenshots pollute
+    /// annotation?).
+    Off,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// DBSCAN parameters for Step 3 (paper: eps 8, minPts 5).
+    pub dbscan: DbscanParams,
+    /// Annotation/association threshold θ (paper: 8).
+    pub theta: u32,
+    /// Step-4 mode.
+    pub screenshot_filter: ScreenshotFilterMode,
+    /// Worker threads for the parallel stages (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            dbscan: DbscanParams::default(),
+            theta: 8,
+            screenshot_filter: ScreenshotFilterMode::Train {
+                corpus_scale: 0.01,
+                config: TrainConfig::default(),
+            },
+            threads: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests: oracle screenshot filter.
+    pub fn fast() -> Self {
+        Self {
+            screenshot_filter: ScreenshotFilterMode::Oracle,
+            ..Self::default()
+        }
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The dataset had no posts at all.
+    EmptyDataset,
+    /// Influence estimation failed.
+    Hawkes(HawkesError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "dataset contains no image posts"),
+            Self::Hawkes(e) => write!(f, "influence estimation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<HawkesError> for PipelineError {
+    fn from(e: HawkesError) -> Self {
+        Self::Hawkes(e)
+    }
+}
+
+/// Everything the pipeline produces (Steps 1–6); Step 7 is computed
+/// from it on demand.
+///
+/// Serializable: a completed run can be saved with
+/// [`PipelineOutput::to_json`] and resumed later without re-hashing
+/// the corpus (the paper's own batch/one-time-task split, §3.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineOutput {
+    /// pHash per post, aligned with `dataset.posts`.
+    pub post_hashes: Vec<PHash>,
+    /// Post indices (into `dataset.posts`) of the fringe-community
+    /// images that were clustered, in clustering order.
+    pub fringe_posts: Vec<usize>,
+    /// The Step-3 clustering over `fringe_posts` positions.
+    pub clustering: Clustering,
+    /// Medoid hash per cluster.
+    pub medoid_hashes: Vec<PHash>,
+    /// Post index (into `dataset.posts`) of each cluster's medoid.
+    pub medoid_posts: Vec<usize>,
+    /// The filtered, hashed KYM site.
+    pub site: KymSite,
+    /// Ground-truth meme id per site entry (None for dormant entries).
+    pub entry_meme_ids: Vec<Option<usize>>,
+    /// Step-5 annotations, one per cluster.
+    pub annotations: Vec<ClusterAnnotation>,
+    /// Step-6 association: annotated-cluster id per post (None when the
+    /// post matches no annotated cluster).
+    pub occurrences: Vec<Option<usize>>,
+    /// Test metrics of the screenshot classifier (Train mode only).
+    pub screenshot_metrics: Option<ClassifierMetrics>,
+}
+
+/// The pipeline driver.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline with a configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run Steps 1–6 over a dataset.
+    pub fn run(&self, dataset: &Dataset) -> Result<PipelineOutput, PipelineError> {
+        if dataset.posts.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+
+        // --- Step 1: pHash extraction (parallel render + hash).
+        let post_hashes = self.hash_posts(dataset);
+
+        // --- Steps 2-3: pairwise distances + DBSCAN on fringe images.
+        let fringe_posts: Vec<usize> = dataset
+            .posts
+            .iter()
+            .filter(|p| p.community.is_fringe())
+            .map(|p| p.id)
+            .collect();
+        let fringe_hashes: Vec<PHash> =
+            fringe_posts.iter().map(|&i| post_hashes[i]).collect();
+        let index = MihIndex::new(fringe_hashes.clone(), self.config.dbscan.eps);
+        let neighbors = all_neighbors(&index, self.config.dbscan.eps, self.config.threads);
+        let clustering = dbscan(&neighbors, self.config.dbscan.min_pts);
+        let medoid_positions = clustering.medoids(&fringe_hashes);
+        let medoid_hashes: Vec<PHash> =
+            medoid_positions.iter().map(|&p| fringe_hashes[p]).collect();
+        let medoid_posts: Vec<usize> =
+            medoid_positions.iter().map(|&p| fringe_posts[p]).collect();
+
+        // --- Step 4: screenshot filtering of KYM galleries + hashing.
+        let (site, entry_meme_ids, screenshot_metrics) = self.build_site(dataset);
+
+        // --- Step 5: cluster annotation.
+        let annotations = annotate_clusters(&medoid_hashes, &site, self.config.theta);
+
+        // --- Step 6: associate all posts to annotated clusters.
+        let annotated: Vec<usize> = annotations
+            .iter()
+            .filter(|a| a.is_annotated())
+            .map(|a| a.cluster)
+            .collect();
+        let annotated_hashes: Vec<PHash> =
+            annotated.iter().map(|&c| medoid_hashes[c]).collect();
+        let assoc_index = MihIndex::new(annotated_hashes, self.config.theta);
+        let occurrences: Vec<Option<usize>> = post_hashes
+            .iter()
+            .map(|&h| {
+                let hits = assoc_index.radius_query(h, self.config.theta);
+                hits.into_iter()
+                    .min_by_key(|&pos| {
+                        (h.distance(assoc_index.hash_at(pos)), pos)
+                    })
+                    .map(|pos| annotated[pos])
+            })
+            .collect();
+
+        Ok(PipelineOutput {
+            post_hashes,
+            fringe_posts,
+            clustering,
+            medoid_hashes,
+            medoid_posts,
+            site,
+            entry_meme_ids,
+            annotations,
+            occurrences,
+            screenshot_metrics,
+        })
+    }
+
+    /// Step 1 worker: hash every post's image in parallel.
+    fn hash_posts(&self, dataset: &Dataset) -> Vec<PHash> {
+        let n = dataset.posts.len();
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let threads = if self.config.threads == 0 {
+            hw
+        } else {
+            self.config.threads
+        }
+        .clamp(1, n);
+        let chunk_len = n.div_ceil(threads);
+        let mut hashes = vec![PHash::default(); n];
+        crossbeam::thread::scope(|s| {
+            for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+                s.spawn(move |_| {
+                    let hasher = PerceptualHasher::new();
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let post = &dataset.posts[chunk_id * chunk_len + off];
+                        *slot = hasher.hash(&dataset.render_post_image(post));
+                    }
+                });
+            }
+        })
+        .expect("hashing worker panicked");
+        hashes
+    }
+
+    /// Step 4 worker: filter galleries, hash survivors, build the site.
+    fn build_site(
+        &self,
+        dataset: &Dataset,
+    ) -> (KymSite, Vec<Option<usize>>, Option<ClassifierMetrics>) {
+        let filter = match &self.config.screenshot_filter {
+            ScreenshotFilterMode::Train {
+                corpus_scale,
+                config,
+            } => {
+                let corpus = ScreenshotCorpus::generate(*corpus_scale, config.seed);
+                let (filter, metrics) = ScreenshotFilter::train(&corpus, config);
+                Some((Some(filter), Some(metrics)))
+            }
+            ScreenshotFilterMode::Oracle => Some((None, None)),
+            ScreenshotFilterMode::Off => None,
+        };
+        let hasher = PerceptualHasher::new();
+        let mut entries = Vec::with_capacity(dataset.kym_raw.entries.len());
+        let mut meme_ids = Vec::with_capacity(dataset.kym_raw.entries.len());
+        for raw in &dataset.kym_raw.entries {
+            let mut gallery = Vec::new();
+            for g in &raw.images {
+                let keep = match &filter {
+                    None => true, // Off: keep everything
+                    Some((None, _)) => !g.is_screenshot(), // Oracle
+                    Some((Some(f), _)) => {
+                        !f.is_screenshot(&dataset.render_gallery_image(g))
+                    }
+                };
+                if keep {
+                    gallery.push(hasher.hash(&dataset.render_gallery_image(g)));
+                }
+            }
+            entries.push(KymEntry {
+                id: 0,
+                name: raw.name.clone(),
+                category: raw.category,
+                tags: raw.tags.clone(),
+                origin: raw.origin.clone(),
+                gallery,
+                people: raw.people.clone(),
+                cultures: raw.cultures.clone(),
+            });
+            meme_ids.push(raw.meme_id);
+        }
+        let metrics = filter.and_then(|(_, m)| m);
+        (KymSite::new(entries), meme_ids, metrics)
+    }
+}
+
+impl PipelineOutput {
+    /// Ids of clusters that received KYM annotations.
+    pub fn annotated_clusters(&self) -> Vec<usize> {
+        self.annotations
+            .iter()
+            .filter(|a| a.is_annotated())
+            .map(|a| a.cluster)
+            .collect()
+    }
+
+    /// The representative KYM entry of a cluster, when annotated.
+    pub fn representative_entry(&self, cluster: usize) -> Option<&KymEntry> {
+        self.annotations[cluster]
+            .representative
+            .map(|id| self.site.entry(id))
+    }
+
+    /// Whether the cluster's representative entry is politics-related.
+    pub fn cluster_is_political(&self, cluster: usize) -> bool {
+        self.representative_entry(cluster)
+            .is_some_and(|e| e.is_political())
+    }
+
+    /// Whether the cluster's representative entry is racism-related.
+    pub fn cluster_is_racist(&self, cluster: usize) -> bool {
+        self.representative_entry(cluster)
+            .is_some_and(|e| e.is_racist())
+    }
+
+    /// Step-7 input: the time-sorted event stream of one annotated
+    /// cluster across the five communities, from the Step-6
+    /// association.
+    pub fn cluster_events(&self, dataset: &Dataset, cluster: usize) -> Vec<Event> {
+        let mut events: Vec<Event> = dataset
+            .posts
+            .iter()
+            .zip(&self.occurrences)
+            .filter(|(_, occ)| **occ == Some(cluster))
+            .map(|(p, _)| Event::new(p.t, p.community.index()))
+            .collect();
+        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+        events
+    }
+
+    /// Event streams for all annotated clusters, in
+    /// [`PipelineOutput::annotated_clusters`] order.
+    pub fn all_cluster_events(&self, dataset: &Dataset) -> Vec<Vec<Event>> {
+        // One pass over posts, bucketed by cluster.
+        let annotated = self.annotated_clusters();
+        let mut slot_of = vec![usize::MAX; self.medoid_hashes.len()];
+        for (slot, &c) in annotated.iter().enumerate() {
+            slot_of[c] = slot;
+        }
+        let mut streams: Vec<Vec<Event>> = vec![Vec::new(); annotated.len()];
+        for (p, occ) in dataset.posts.iter().zip(&self.occurrences) {
+            if let Some(c) = occ {
+                let slot = slot_of[*c];
+                if slot != usize::MAX {
+                    streams[slot].push(Event::new(p.t, p.community.index()));
+                }
+            }
+        }
+        for s in &mut streams {
+            s.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+        }
+        streams
+    }
+
+    /// Step 7: fit a Hawkes model per annotated cluster and aggregate
+    /// influence. Returns the per-cluster and total matrices, in
+    /// [`PipelineOutput::annotated_clusters`] order.
+    pub fn estimate_influence(
+        &self,
+        dataset: &Dataset,
+        estimator: &InfluenceEstimator,
+        threads: usize,
+    ) -> Result<ClusterInfluence, PipelineError> {
+        let streams = self.all_cluster_events(dataset);
+        Ok(estimator.estimate(&streams, dataset.horizon(), threads)?)
+    }
+
+    /// Custom-metric descriptors plus representative-entry names for
+    /// every annotated cluster (in [`PipelineOutput::annotated_clusters`]
+    /// order) — the shared input of the Fig. 6 dendrograms, the Fig. 7
+    /// graph, and the `memes graph` CLI.
+    pub fn annotated_descriptors(&self) -> (Vec<ClusterDescriptor>, Vec<String>) {
+        let mut descriptors = Vec::new();
+        let mut labels = Vec::new();
+        for ann in self.annotations.iter().filter(|a| a.is_annotated()) {
+            let rep = self.site.entry(ann.representative.expect("annotated"));
+            descriptors.push(ClusterDescriptor::from_annotation(
+                self.medoid_hashes[ann.cluster],
+                ann,
+                &self.site,
+            ));
+            labels.push(rep.name.clone());
+        }
+        (descriptors, labels)
+    }
+
+    /// Serialize a completed run to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("pipeline output serializes")
+    }
+
+    /// Restore a run saved with [`PipelineOutput::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Number of unique hashes per community (Table 1's last column).
+    pub fn unique_hashes(&self, dataset: &Dataset, community: Community) -> usize {
+        use std::collections::HashSet;
+        let set: HashSet<PHash> = dataset
+            .posts
+            .iter()
+            .filter(|p| p.community == community)
+            .map(|p| self.post_hashes[p.id])
+            .collect();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meme_simweb::SimConfig;
+
+    fn run_tiny() -> (Dataset, PipelineOutput) {
+        let dataset = SimConfig::tiny(17).generate();
+        let out = Pipeline::new(PipelineConfig::fast()).run(&dataset).unwrap();
+        (dataset, out)
+    }
+
+    #[test]
+    fn pipeline_end_to_end_shapes() {
+        let (dataset, out) = run_tiny();
+        assert_eq!(out.post_hashes.len(), dataset.posts.len());
+        assert_eq!(out.occurrences.len(), dataset.posts.len());
+        assert_eq!(out.annotations.len(), out.clustering.n_clusters());
+        assert_eq!(out.medoid_hashes.len(), out.clustering.n_clusters());
+        assert!(out.clustering.n_clusters() > 5, "clusters {}", out.clustering.n_clusters());
+        // Noise exists but is not everything.
+        let nf = out.clustering.noise_fraction();
+        assert!((0.2..0.95).contains(&nf), "noise fraction {nf}");
+    }
+
+    #[test]
+    fn some_clusters_are_annotated_some_not() {
+        let (_, out) = run_tiny();
+        let annotated = out.annotated_clusters().len();
+        let total = out.clustering.n_clusters();
+        assert!(annotated > 0, "no annotated clusters");
+        assert!(
+            annotated < total,
+            "all {total} clusters annotated — uncatalogued mass missing"
+        );
+    }
+
+    #[test]
+    fn clustering_recovers_ground_truth_memes() {
+        use meme_cluster::purity::majority_purity;
+        let (dataset, out) = run_tiny();
+        // Image-family truth (the paper's audit granularity): variants
+        // of one meme merging at eps = 8 is not a false positive, and a
+        // screenshot family is a legitimate (if meme-less) cluster.
+        let truth: Vec<Option<meme_simweb::PostTruth>> = out
+            .fringe_posts
+            .iter()
+            .map(|&i| dataset.posts[i].truth_key())
+            .collect();
+        let purity = majority_purity(&out.clustering, &truth);
+        assert!(purity > 0.95, "cluster purity {purity}");
+    }
+
+    #[test]
+    fn annotations_match_ground_truth_memes() {
+        // For annotated clusters, the representative entry should
+        // usually be the true meme of the cluster's medoid post.
+        let (dataset, out) = run_tiny();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for ann in out.annotations.iter().filter(|a| a.is_annotated()) {
+            let medoid_post = out.medoid_posts[ann.cluster];
+            let Some((true_meme, _)) = dataset.posts[medoid_post].true_variant() else {
+                continue;
+            };
+            total += 1;
+            let rep = ann.representative.unwrap();
+            if out.entry_meme_ids[rep] == Some(true_meme) {
+                correct += 1;
+            }
+        }
+        assert!(total > 0);
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.8, "annotation accuracy {acc} over {total}");
+    }
+
+    #[test]
+    fn association_covers_mainstream_communities() {
+        let (dataset, out) = run_tiny();
+        for c in [Community::Twitter, Community::Reddit] {
+            let matched = dataset
+                .posts
+                .iter()
+                .zip(&out.occurrences)
+                .filter(|(p, occ)| p.community == c && occ.is_some())
+                .count();
+            assert!(matched > 0, "{} has no meme matches", c.name());
+        }
+    }
+
+    #[test]
+    fn association_is_mostly_correct() {
+        // Posts whose image is a meme variant should map to a cluster
+        // whose medoid is the same variant (when that variant was
+        // clustered + annotated).
+        let (dataset, out) = run_tiny();
+        let mut good = 0usize;
+        let mut bad = 0usize;
+        for (post, occ) in dataset.posts.iter().zip(&out.occurrences) {
+            let (Some(cluster), Some((meme, variant))) = (occ, post.true_variant()) else {
+                continue;
+            };
+            let medoid_post = out.medoid_posts[*cluster];
+            match dataset.posts[medoid_post].true_variant() {
+                Some((m, v)) if m == meme && v == variant => good += 1,
+                _ => bad += 1,
+            }
+        }
+        assert!(good > 0);
+        let precision = good as f64 / (good + bad) as f64;
+        assert!(precision > 0.9, "association precision {precision}");
+    }
+
+    #[test]
+    fn cluster_events_are_sorted_and_complete() {
+        let (dataset, out) = run_tiny();
+        let annotated = out.annotated_clusters();
+        let streams = out.all_cluster_events(&dataset);
+        assert_eq!(streams.len(), annotated.len());
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        let matched = out.occurrences.iter().flatten().count();
+        assert_eq!(total, matched);
+        for s in &streams {
+            for w in s.windows(2) {
+                assert!(w[0].t <= w[1].t);
+            }
+        }
+        // Spot-check one stream against the per-cluster accessor.
+        if let Some(&c) = annotated.first() {
+            assert_eq!(streams[0], out.cluster_events(&dataset, c));
+        }
+    }
+
+    #[test]
+    fn influence_estimation_runs_end_to_end() {
+        let (dataset, out) = run_tiny();
+        let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+        let inf = out.estimate_influence(&dataset, &estimator, 2).unwrap();
+        let events: f64 = inf.total.events_per_community().iter().sum();
+        let matched = out.occurrences.iter().flatten().count() as f64;
+        assert!((events - matched).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let mut dataset = SimConfig::tiny(18).generate();
+        dataset.posts.clear();
+        let err = Pipeline::new(PipelineConfig::fast()).run(&dataset);
+        assert!(matches!(err, Err(PipelineError::EmptyDataset)));
+    }
+
+    #[test]
+    fn screenshot_posts_form_unannotated_clusters() {
+        use meme_simweb::ImageRef;
+        let (dataset, out) = run_tiny();
+        // Screenshot families cluster (the paper's §4.1.1 observation)…
+        let screenshot_clusters: Vec<usize> = (0..out.clustering.n_clusters())
+            .filter(|&c| {
+                matches!(
+                    dataset.posts[out.medoid_posts[c]].image,
+                    ImageRef::Screenshot { .. }
+                )
+            })
+            .collect();
+        assert!(
+            !screenshot_clusters.is_empty(),
+            "no screenshot clusters formed"
+        );
+        // …and with the screenshot filter active, none of them carries a
+        // KYM annotation (their only possible gallery matches were
+        // filtered in Step 4).
+        for &c in &screenshot_clusters {
+            assert!(
+                !out.annotations[c].is_annotated(),
+                "screenshot cluster {c} spuriously annotated"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_off_mode_keeps_screenshots_in_galleries() {
+        let dataset = SimConfig::tiny(19).generate();
+        let with = Pipeline::new(PipelineConfig::fast()).run(&dataset).unwrap();
+        let without = Pipeline::new(PipelineConfig {
+            screenshot_filter: ScreenshotFilterMode::Off,
+            ..PipelineConfig::fast()
+        })
+        .run(&dataset)
+        .unwrap();
+        assert!(without.site.total_gallery_images() > with.site.total_gallery_images());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the Hawkes machinery: simulation laws,
+//! attribution conservation, and fitting stability over random stable
+//! models.
+
+use meme_hawkes::{
+    fit_em, parent_probabilities, root_cause_matrix, root_causes, simulate_branching,
+    strip_lineage, EmConfig, Event, HawkesModel,
+};
+use meme_stats::seeded_rng;
+use proptest::prelude::*;
+
+/// Random stationary models (spectral radius forced < 1 by row scaling).
+fn stable_model_strategy() -> impl Strategy<Value = HawkesModel> {
+    (2usize..5)
+        .prop_flat_map(|k| {
+            (
+                prop::collection::vec(0.01f64..0.8, k),
+                prop::collection::vec(prop::collection::vec(0.0f64..1.0, k), k),
+                0.5f64..5.0,
+            )
+        })
+        .prop_map(|(mu, mut w, beta)| {
+            // Scale the weight matrix until subcritical.
+            let k = mu.len();
+            let col_max: f64 = (0..k)
+                .map(|d| (0..k).map(|s| w[s][d]).sum::<f64>())
+                .fold(0.0, f64::max)
+                .max(1e-9);
+            let target = 0.7;
+            for row in &mut w {
+                for x in row.iter_mut() {
+                    *x *= target / col_max;
+                }
+            }
+            HawkesModel::new(mu, w, beta).expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_models_are_stationary(m in stable_model_strategy()) {
+        prop_assert!(m.spectral_radius() < 1.0);
+        let rates = m.stationary_rates().unwrap();
+        for (r, mu) in rates.iter().zip(&m.mu) {
+            prop_assert!(*r >= *mu - 1e-12);
+            prop_assert!(r.is_finite());
+        }
+    }
+
+    #[test]
+    fn simulation_respects_window(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = simulate_branching(&m, 50.0, &mut rng);
+        for w in events.windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+        }
+        for e in &events {
+            prop_assert!((0.0..50.0).contains(&e.t));
+            prop_assert!(e.process < m.k());
+            if let Some(p) = e.parent {
+                prop_assert!(events[p].t <= e.t);
+            }
+        }
+    }
+
+    #[test]
+    fn parent_probabilities_sum_to_one(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 30.0, &mut rng));
+        for pd in parent_probabilities(&m, &events) {
+            let total: f64 = pd.background + pd.parents.iter().map(|(_, p)| p).sum::<f64>();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(pd.background >= 0.0);
+            prop_assert!(pd.parents.iter().all(|(_, p)| *p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn root_cause_mass_is_conserved(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 30.0, &mut rng));
+        let roots = root_causes(&m, &events);
+        for r in &roots {
+            prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Matrix totals equal event count.
+        let matrix = root_cause_matrix(&m, &events);
+        let total: f64 = matrix.iter().flatten().sum();
+        prop_assert!((total - events.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_likelihood_is_finite_on_own_sample(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 40.0, &mut rng));
+        let ll = m.log_likelihood(&events, 40.0).unwrap();
+        prop_assert!(ll.is_finite());
+    }
+
+    #[test]
+    fn em_output_is_valid_model(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 80.0, &mut rng));
+        prop_assume!(!events.is_empty());
+        let fit = fit_em(
+            &events,
+            m.k(),
+            80.0,
+            &EmConfig {
+                beta: m.beta,
+                max_iters: 15,
+                ..EmConfig::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(fit.model.mu.iter().all(|x| x.is_finite() && *x >= 0.0));
+        prop_assert!(fit
+            .model
+            .w
+            .iter()
+            .flatten()
+            .all(|x| x.is_finite() && *x >= 0.0));
+        prop_assert!(fit.log_likelihood.is_finite());
+        // The fitted model assigns its training data a likelihood at
+        // least as good as a crude homogeneous-Poisson baseline.
+        let k = m.k();
+        let baseline = HawkesModel::new(
+            (0..k)
+                .map(|c| {
+                    (events.iter().filter(|e| e.process == c).count() as f64 / 80.0)
+                        .max(1e-6)
+                })
+                .collect(),
+            vec![vec![0.0; k]; k],
+            m.beta,
+        )
+        .unwrap();
+        let ll_base = baseline.log_likelihood(&events, 80.0).unwrap();
+        prop_assert!(fit.log_likelihood >= ll_base - 1e-6);
+    }
+
+    #[test]
+    fn intensity_is_nonnegative_everywhere(m in stable_model_strategy(), seed: u64, t in 0.0f64..50.0) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 50.0, &mut rng));
+        for dst in 0..m.k() {
+            let lam = m.intensity(&events, dst, t);
+            prop_assert!(lam >= m.mu[dst] - 1e-12);
+            prop_assert!(lam.is_finite());
+        }
+    }
+
+    #[test]
+    fn validate_events_accepts_simulated_streams(m in stable_model_strategy(), seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let events = strip_lineage(&simulate_branching(&m, 25.0, &mut rng));
+        prop_assert!(m.validate_events(&events, 25.0).is_ok());
+    }
+
+    #[test]
+    fn empty_event_stream_handled(m in stable_model_strategy()) {
+        let events: Vec<Event> = Vec::new();
+        prop_assert!(m.validate_events(&events, 10.0).is_ok());
+        prop_assert!(m.log_likelihood(&events, 10.0).unwrap().is_finite());
+        prop_assert!(root_cause_matrix(&m, &events)
+            .iter()
+            .flatten()
+            .all(|x| *x == 0.0));
+    }
+}

@@ -1,0 +1,191 @@
+//! Caption-band detection — a lightweight stand-in for the OCR the
+//! paper lists as future work ("incorporating OCR techniques to capture
+//! associated text-based features that memes usually contain", §7).
+//!
+//! Image macros carry near-uniform, extreme-tone bands across the top
+//! or bottom with embedded text strokes. The detector looks for exactly
+//! that: horizontal strips whose pixels are dominated by one extreme
+//! tone with a minority of contrasting "text" pixels. Because the
+//! simulator's caption edits ([`crate::synth::VariantOp::CaptionTop`] /
+//! `CaptionBottom`) are ground truth, detector quality is measurable,
+//! not asserted.
+
+use crate::image::Image;
+use serde::{Deserialize, Serialize};
+
+/// Detection result for one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptionPresence {
+    /// A caption band across the top.
+    pub top: bool,
+    /// A caption band across the bottom.
+    pub bottom: bool,
+}
+
+impl CaptionPresence {
+    /// Whether any caption was found.
+    pub fn any(self) -> bool {
+        self.top || self.bottom
+    }
+}
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptionDetector {
+    /// Fraction of the image height scanned from each edge.
+    pub band_frac: f32,
+    /// A row counts as "band-like" when at least this fraction of its
+    /// pixels sit within `tone_window` of the row's dominant extreme.
+    pub row_uniformity: f32,
+    /// Distance from pure black/white still counted as the band tone.
+    pub tone_window: f32,
+    /// Fraction of band-like rows (within the scanned strip) required
+    /// to call a caption.
+    pub min_band_rows: f32,
+}
+
+impl Default for CaptionDetector {
+    fn default() -> Self {
+        Self {
+            band_frac: 0.22,
+            row_uniformity: 0.62,
+            tone_window: 0.18,
+            min_band_rows: 0.5,
+        }
+    }
+}
+
+impl CaptionDetector {
+    /// Detect caption bands in an image.
+    pub fn detect(&self, img: &Image) -> CaptionPresence {
+        let h = img.height();
+        let strip = ((h as f32 * self.band_frac) as usize).max(1);
+        CaptionPresence {
+            top: self.strip_is_caption(img, 0, strip),
+            bottom: self.strip_is_caption(img, h - strip, h),
+        }
+    }
+
+    /// Whether rows `y0..y1` look like a caption band.
+    fn strip_is_caption(&self, img: &Image, y0: usize, y1: usize) -> bool {
+        let w = img.width();
+        let mut band_rows = 0usize;
+        let rows = y1 - y0;
+        for y in y0..y1 {
+            // Dominant extreme of the row: bright or dark.
+            let mut bright = 0usize;
+            let mut dark = 0usize;
+            for x in 0..w {
+                let p = img.get(x, y);
+                if p >= 1.0 - self.tone_window {
+                    bright += 1;
+                } else if p <= self.tone_window {
+                    dark += 1;
+                }
+            }
+            let dominant = bright.max(dark) as f32 / w as f32;
+            if dominant >= self.row_uniformity {
+                band_rows += 1;
+            }
+        }
+        band_rows as f32 / rows as f32 >= self.min_band_rows
+    }
+
+    /// Evaluate the detector against labeled images. Returns
+    /// `(accuracy, precision, recall)` for the "has any caption" task.
+    pub fn evaluate(&self, labeled: &[(Image, bool)]) -> (f64, f64, f64) {
+        let (mut tp, mut fp, mut tn, mut fne) = (0.0f64, 0.0, 0.0, 0.0);
+        for (img, truth) in labeled {
+            match (self.detect(img).any(), *truth) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, false) => tn += 1.0,
+                (false, true) => fne += 1.0,
+            }
+        }
+        let n = (tp + fp + tn + fne).max(1.0);
+        let accuracy = (tp + tn) / n;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 1.0 };
+        let recall = if tp + fne > 0.0 { tp / (tp + fne) } else { 1.0 };
+        (accuracy, precision, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{JitterConfig, TemplateGenome, VariantGenome, VariantOp};
+    use meme_stats::seeded_rng;
+
+    fn captioned(template: u64, top: bool) -> Image {
+        let v = VariantGenome {
+            template: TemplateGenome::new(template),
+            ops: vec![if top {
+                VariantOp::CaptionTop {
+                    height_frac: 0.22,
+                    tone: 0.97,
+                }
+            } else {
+                VariantOp::CaptionBottom {
+                    height_frac: 0.22,
+                    tone: 0.03,
+                }
+            }],
+        };
+        v.render(64)
+    }
+
+    #[test]
+    fn detects_clean_captions() {
+        let d = CaptionDetector::default();
+        let top = d.detect(&captioned(1, true));
+        assert!(top.top, "top caption missed");
+        let bottom = d.detect(&captioned(2, false));
+        assert!(bottom.bottom, "bottom caption missed");
+        assert!(bottom.any());
+    }
+
+    #[test]
+    fn plain_templates_are_negative() {
+        let d = CaptionDetector::default();
+        let mut false_pos = 0;
+        for seed in 0..30u64 {
+            let img = TemplateGenome::new(seed).render(64);
+            if d.detect(&img).any() {
+                false_pos += 1;
+            }
+        }
+        assert!(false_pos <= 2, "{false_pos}/30 plain templates flagged");
+    }
+
+    #[test]
+    fn accuracy_on_ground_truth_variants() {
+        // Labeled corpus straight from the generator: variants whose op
+        // list contains a caption vs ones without, under full re-post
+        // jitter.
+        let d = CaptionDetector::default();
+        let mut rng = seeded_rng(7);
+        let mut labeled = Vec::new();
+        for seed in 0..40u64 {
+            let v = VariantGenome::random(TemplateGenome::new(seed), seed, 1 + (seed % 2) as usize);
+            let truth = v.ops.iter().any(|op| {
+                matches!(
+                    op,
+                    VariantOp::CaptionTop { .. } | VariantOp::CaptionBottom { .. }
+                )
+            });
+            let img = v.render_jittered(64, &JitterConfig::default(), &mut rng);
+            labeled.push((img, truth));
+        }
+        let (accuracy, precision, _recall) = d.evaluate(&labeled);
+        assert!(accuracy > 0.75, "accuracy {accuracy}");
+        assert!(precision > 0.75, "precision {precision}");
+    }
+
+    #[test]
+    fn evaluate_handles_empty_input() {
+        let d = CaptionDetector::default();
+        let (a, p, r) = d.evaluate(&[]);
+        assert_eq!((a, p, r), (0.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Discrete cosine transform (type II and its inverse, type III).
+//!
+//! pHash computes "a feature vector of 64 elements … from the Discrete
+//! Cosine Transform among the different frequency domains of the image"
+//! (§2.2). This module implements the orthonormal 2-D DCT-II used by
+//! `meme-phash` and by the JPEG-like quantization perturbation in
+//! [`crate::transform`].
+//!
+//! For the pipeline's fixed 32×32 hash size a planner ([`Dct2d`]) with a
+//! precomputed cosine matrix turns the transform into two small
+//! matrix multiplications, which is both simple and fast at this size.
+
+/// A planned 2-D DCT for a fixed square size `n`.
+///
+/// Holds the orthonormal DCT-II basis matrix `C` (`n × n`, row-major,
+/// `C[k][x] = s(k) * cos(pi (2x+1) k / (2n))`). Forward transform is
+/// `C * X * C^T`; inverse is `C^T * X * C`.
+#[derive(Debug, Clone)]
+pub struct Dct2d {
+    n: usize,
+    basis: Vec<f64>,
+}
+
+impl Dct2d {
+    /// Plan a DCT of size `n × n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "DCT size must be non-zero");
+        let mut basis = vec![0.0f64; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let s = if k == 0 { norm0 } else { norm };
+            for x in 0..n {
+                basis[k * n + x] =
+                    s * (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * k as f64
+                        / (2.0 * n as f64))
+                        .cos();
+            }
+        }
+        Self { n, basis }
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Forward 2-D DCT-II of a row-major `n × n` block.
+    ///
+    /// # Panics
+    /// Panics when `input.len() != n * n`.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n * self.n, "input must be n*n");
+        // tmp = C * X  (transform columns of each row-block)
+        let tmp = self.mul_basis_left(input);
+        // out = tmp * C^T
+        self.mul_basis_right_t(&tmp)
+    }
+
+    /// Inverse 2-D DCT (type III) of a row-major `n × n` coefficient
+    /// block; `inverse(forward(x)) == x` up to floating-point error.
+    ///
+    /// # Panics
+    /// Panics when `input.len() != n * n`.
+    pub fn inverse(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n * self.n, "input must be n*n");
+        // out = C^T * X * C
+        let tmp = self.mul_basis_t_left(input);
+        self.mul_basis_right(&tmp)
+    }
+
+    fn mul_basis_left(&self, x: &[f64]) -> Vec<f64> {
+        // (C X)[k][j] = sum_i C[k][i] X[i][j]
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                let c = self.basis[k * n + i];
+                if c == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[k * n + j] += c * x[i * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn mul_basis_t_left(&self, x: &[f64]) -> Vec<f64> {
+        // (C^T X)[k][j] = sum_i C[i][k] X[i][j]
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let c = self.basis[i * n + k];
+                if c == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[k * n + j] += c * x[i * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn mul_basis_right_t(&self, x: &[f64]) -> Vec<f64> {
+        // (X C^T)[i][k] = sum_j X[i][j] C[k][j]
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += x[i * n + j] * self.basis[k * n + j];
+                }
+                out[i * n + k] = acc;
+            }
+        }
+        out
+    }
+
+    fn mul_basis_right(&self, x: &[f64]) -> Vec<f64> {
+        // (X C)[i][k] = sum_j X[i][j] C[j][k]
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = x[i * n + j];
+                if v == 0.0 {
+                    continue;
+                }
+                for k in 0..n {
+                    out[i * n + k] += v * self.basis[j * n + k];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One-shot forward 2-D DCT-II of a square block (plans internally;
+/// prefer [`Dct2d`] in loops).
+pub fn dct2_2d(input: &[f64], n: usize) -> Vec<f64> {
+    Dct2d::new(n).forward(input)
+}
+
+/// One-shot inverse 2-D DCT of a square coefficient block.
+pub fn idct2_2d(input: &[f64], n: usize) -> Vec<f64> {
+    Dct2d::new(n).inverse(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let n = 8;
+        let block = vec![0.5; n * n];
+        let coeffs = dct2_2d(&block, n);
+        // DC coefficient of an orthonormal DCT of a constant c is c * n.
+        assert!((coeffs[0] - 0.5 * n as f64).abs() < 1e-9);
+        for (i, c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "coeff {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let n = 16;
+        let input: Vec<f64> = (0..n * n).map(|i| ((i * 31 + 7) % 97) as f64 / 97.0).collect();
+        let plan = Dct2d::new(n);
+        let back = plan.inverse(&plan.forward(&input));
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        // Orthonormal transform preserves the Frobenius norm.
+        let n = 8;
+        let input: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let coeffs = dct2_2d(&input, n);
+        let e_in: f64 = input.iter().map(|x| x * x).sum();
+        let e_out: f64 = coeffs.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 8;
+        let a: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.31).cos()).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let plan = Dct2d::new(n);
+        let fa = plan.forward(&a);
+        let fb = plan.forward(&b);
+        let fsum = plan.forward(&sum);
+        for i in 0..n * n {
+            assert!((fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_basis_function_concentrates() {
+        // An image equal to one cosine basis function should produce a
+        // single dominant coefficient.
+        let n = 16;
+        let (u, v) = (3usize, 5usize);
+        let mut img = vec![0.0f64; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                img[y * n + x] = (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * u as f64
+                    / (2.0 * n as f64))
+                    .cos()
+                    * (std::f64::consts::PI * (2.0 * y as f64 + 1.0) * v as f64
+                        / (2.0 * n as f64))
+                        .cos();
+            }
+        }
+        let coeffs = dct2_2d(&img, n);
+        let mut best = (0usize, 0.0f64);
+        for (i, c) in coeffs.iter().enumerate() {
+            if c.abs() > best.1 {
+                best = (i, c.abs());
+            }
+        }
+        assert_eq!(best.0, v * n + u);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn wrong_input_length_panics() {
+        let plan = Dct2d::new(4);
+        let _ = plan.forward(&[0.0; 15]);
+    }
+}

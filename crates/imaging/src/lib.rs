@@ -1,0 +1,35 @@
+//! Synthetic raster substrate for the `origins-of-memes` workspace.
+//!
+//! The original study processed 160M real images. That corpus is not
+//! available, so this crate provides the *image substrate* the pipeline
+//! runs on instead:
+//!
+//! * [`Image`] — a grayscale `f32` raster with drawing primitives;
+//! * [`resize`] — box-filter and bilinear resampling (pHash preprocessing);
+//! * [`dct`] — the 2-D type-II/III discrete cosine transform that both the
+//!   perceptual hash (`meme-phash`) and the JPEG-like quantization
+//!   perturbation are built on;
+//! * [`transform`] — the photometric and geometric perturbations against
+//!   which pHash must be robust (brightness, contrast, gamma, noise,
+//!   crops, captions, overlays, quantization), mirroring the
+//!   signal-processing robustness discussion in §2.2 of the paper;
+//! * [`synth`] — a procedural renderer that turns *template genomes* into
+//!   distinctive base images and *variant genomes* into meme variants,
+//!   giving the simulator ground truth for every image's meme identity.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // pixel loops read clearer with explicit indices
+#![warn(missing_docs)]
+
+pub mod caption;
+pub mod dct;
+pub mod image;
+pub mod resize;
+pub mod synth;
+pub mod transform;
+
+pub use caption::{CaptionDetector, CaptionPresence};
+pub use dct::{dct2_2d, idct2_2d, Dct2d};
+pub use image::Image;
+pub use resize::{resize_bilinear, resize_box};
+pub use synth::{TemplateGenome, VariantGenome, VariantOp};

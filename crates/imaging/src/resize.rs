@@ -1,0 +1,131 @@
+//! Image resampling.
+//!
+//! pHash (Step 1 of the pipeline) first shrinks every image to 32×32.
+//! Downscaling uses an area-averaging **box filter** — the standard choice
+//! for large shrink factors because it integrates over the source area
+//! instead of point-sampling (which would alias and destroy hash
+//! stability). Upscaling and mild rescaling use **bilinear** sampling.
+
+use crate::image::Image;
+
+/// Resize with an area-averaging box filter; the right filter for
+/// downscaling. Each destination pixel is the mean of the source
+/// rectangle it covers.
+pub fn resize_box(src: &Image, dst_w: usize, dst_h: usize) -> Image {
+    assert!(dst_w > 0 && dst_h > 0, "target dimensions must be non-zero");
+    let (sw, sh) = (src.width(), src.height());
+    let mut out = Image::new(dst_w, dst_h);
+    let x_ratio = sw as f64 / dst_w as f64;
+    let y_ratio = sh as f64 / dst_h as f64;
+    for dy in 0..dst_h {
+        let y0 = (dy as f64 * y_ratio).floor() as usize;
+        let y1 = (((dy + 1) as f64 * y_ratio).ceil() as usize).clamp(y0 + 1, sh);
+        for dx in 0..dst_w {
+            let x0 = (dx as f64 * x_ratio).floor() as usize;
+            let x1 = (((dx + 1) as f64 * x_ratio).ceil() as usize).clamp(x0 + 1, sw);
+            let mut acc = 0.0f64;
+            for sy in y0..y1 {
+                for sx in x0..x1 {
+                    acc += src.get(sx, sy) as f64;
+                }
+            }
+            let count = ((x1 - x0) * (y1 - y0)) as f64;
+            out.set(dx, dy, (acc / count) as f32);
+        }
+    }
+    out
+}
+
+/// Resize with bilinear interpolation; the right filter for upscaling and
+/// small adjustments (used by the scale-jitter perturbation).
+pub fn resize_bilinear(src: &Image, dst_w: usize, dst_h: usize) -> Image {
+    assert!(dst_w > 0 && dst_h > 0, "target dimensions must be non-zero");
+    let (sw, sh) = (src.width(), src.height());
+    let mut out = Image::new(dst_w, dst_h);
+    // Align pixel centers.
+    let x_ratio = sw as f64 / dst_w as f64;
+    let y_ratio = sh as f64 / dst_h as f64;
+    for dy in 0..dst_h {
+        let fy = (dy as f64 + 0.5) * y_ratio - 0.5;
+        let y0 = fy.floor();
+        let ty = (fy - y0) as f32;
+        for dx in 0..dst_w {
+            let fx = (dx as f64 + 0.5) * x_ratio - 0.5;
+            let x0 = fx.floor();
+            let tx = (fx - x0) as f32;
+            let (xi, yi) = (x0 as isize, y0 as isize);
+            let p00 = src.get_clamped(xi, yi);
+            let p10 = src.get_clamped(xi + 1, yi);
+            let p01 = src.get_clamped(xi, yi + 1);
+            let p11 = src.get_clamped(xi + 1, yi + 1);
+            let top = p00 + (p10 - p00) * tx;
+            let bot = p01 + (p11 - p01) * tx;
+            out.set(dx, dy, top + (bot - top) * ty);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_resize_preserves_constant() {
+        let src = Image::filled(17, 13, 0.42);
+        let out = resize_box(&src, 4, 4);
+        assert!(out.data().iter().all(|p| (p - 0.42).abs() < 1e-6));
+    }
+
+    #[test]
+    fn box_resize_preserves_mean_for_exact_factors() {
+        // 4x4 image with known mean, shrink by 2: mean must be identical.
+        let data: Vec<f32> = (0..16).map(|i| i as f32 / 15.0).collect();
+        let src = Image::from_raw(4, 4, data).unwrap();
+        let out = resize_box(&src, 2, 2);
+        assert!((out.mean() - src.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_resize_identity() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let src = Image::from_raw(4, 3, data).unwrap();
+        let out = resize_box(&src, 4, 3);
+        assert_eq!(out.data(), src.data());
+    }
+
+    #[test]
+    fn bilinear_identity() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let src = Image::from_raw(4, 3, data).unwrap();
+        let out = resize_bilinear(&src, 4, 3);
+        for (a, b) in out.data().iter().zip(src.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bilinear_upscale_interpolates() {
+        let src = Image::from_raw(2, 1, vec![0.0, 1.0]).unwrap();
+        let out = resize_bilinear(&src, 4, 1);
+        // Values must be non-decreasing left to right.
+        let d = out.data();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        assert!(d[0] < 0.3 && d[3] > 0.7);
+    }
+
+    #[test]
+    fn downscale_to_single_pixel_is_mean() {
+        let data: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let src = Image::from_raw(3, 3, data).unwrap();
+        let out = resize_box(&src, 1, 1);
+        assert!((out.get(0, 0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_target_panics() {
+        let src = Image::new(2, 2);
+        let _ = resize_box(&src, 0, 1);
+    }
+}

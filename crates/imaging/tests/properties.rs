@@ -1,0 +1,124 @@
+//! Property-based tests for the imaging substrate.
+
+use meme_imaging::dct::Dct2d;
+use meme_imaging::image::Image;
+use meme_imaging::resize::{resize_bilinear, resize_box};
+use meme_imaging::synth::{JitterConfig, TemplateGenome, VariantGenome, VariantOp};
+use meme_imaging::transform;
+use meme_stats::seeded_rng;
+use proptest::prelude::*;
+
+fn arbitrary_image(max_side: usize) -> impl Strategy<Value = Image> {
+    (2usize..max_side, 2usize..max_side, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut rng = seeded_rng(seed);
+        let mut img = Image::new(w, h);
+        for p in img.data_mut() {
+            *p = rand::RngExt::random::<f32>(&mut rng);
+        }
+        img
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dct_roundtrip_on_random_blocks(seed: u64, n in 2usize..24) {
+        let mut rng = seeded_rng(seed);
+        let input: Vec<f64> = (0..n * n)
+            .map(|_| rand::RngExt::random::<f64>(&mut rng))
+            .collect();
+        let plan = Dct2d::new(n);
+        let back = plan.inverse(&plan.forward(&input));
+        for (a, b) in input.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy(seed: u64, n in 2usize..24) {
+        let mut rng = seeded_rng(seed);
+        let input: Vec<f64> = (0..n * n)
+            .map(|_| rand::RngExt::random::<f64>(&mut rng) - 0.5)
+            .collect();
+        let coeffs = Dct2d::new(n).forward(&input);
+        let e_in: f64 = input.iter().map(|x| x * x).sum();
+        let e_out: f64 = coeffs.iter().map(|x| x * x).sum();
+        prop_assert!((e_in - e_out).abs() < 1e-8 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn box_resize_stays_in_pixel_range(img in arbitrary_image(40), w in 1usize..50, h in 1usize..50) {
+        let out = resize_box(&img, w, h);
+        prop_assert_eq!(out.width(), w);
+        prop_assert_eq!(out.height(), h);
+        // Area averaging cannot exceed the input range.
+        for p in out.data() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&(*p as f64)));
+        }
+    }
+
+    #[test]
+    fn bilinear_resize_stays_in_pixel_range(img in arbitrary_image(40), w in 1usize..50, h in 1usize..50) {
+        let out = resize_bilinear(&img, w, h);
+        for p in out.data() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&(*p as f64)));
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_range(img in arbitrary_image(32), delta in -0.5f32..0.5, factor in 0.1f32..3.0, g in 0.2f32..4.0) {
+        for out in [
+            transform::brightness(&img, delta),
+            transform::contrast(&img, factor),
+            transform::gamma(&img, g),
+        ] {
+            for p in out.data() {
+                prop_assert!((0.0..=1.0).contains(p));
+            }
+            prop_assert_eq!(out.width(), img.width());
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive(img in arbitrary_image(32)) {
+        let back = transform::flip_horizontal(&transform::flip_horizontal(&img));
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn template_render_is_normalized(seed: u64, size in 8usize..96) {
+        let img = TemplateGenome::new(seed).render(size);
+        prop_assert_eq!(img.width(), size);
+        for p in img.data() {
+            prop_assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn variant_ops_keep_dimensions(seed: u64, op_seed: u64) {
+        let base = TemplateGenome::new(seed).render(32);
+        let mut rng = seeded_rng(op_seed);
+        let op = VariantOp::random(&mut rng);
+        let v = VariantGenome {
+            template: TemplateGenome::new(seed),
+            ops: vec![op],
+        };
+        let out = v.render(32);
+        prop_assert_eq!(out.width(), base.width());
+        for p in out.data() {
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn jitter_never_destroys_image(seed: u64, jitter_seed: u64) {
+        let v = VariantGenome::base(TemplateGenome::new(seed));
+        let mut rng = seeded_rng(jitter_seed);
+        let img = v.render_jittered(32, &JitterConfig::default(), &mut rng);
+        // Jittered images remain valid, non-constant rasters.
+        prop_assert!(img.data().iter().all(|p| (0.0..=1.0).contains(p)));
+        let mean = img.mean();
+        prop_assert!(img.data().iter().any(|p| (p - mean).abs() > 1e-3));
+    }
+}

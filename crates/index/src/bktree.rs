@@ -1,0 +1,154 @@
+//! BK-tree over the Hamming metric.
+//!
+//! A Burkhard–Keller tree exploits the triangle inequality: when the
+//! query is at distance `d` from a node, only children whose edge
+//! distance lies in `[d - r, d + r]` can contain results. Hamming
+//! distance over 64-bit hashes takes integer values `0..=64`, so each
+//! node keeps a sparse 65-slot child table.
+
+use crate::HammingIndex;
+use meme_phash::PHash;
+
+#[derive(Debug, Clone)]
+struct Node {
+    hash: PHash,
+    /// Original index of this hash (first occurrence).
+    item: usize,
+    /// Duplicate items with the identical hash.
+    duplicates: Vec<usize>,
+    /// Children keyed by edge distance 1..=64 (distance 0 is a duplicate).
+    children: Vec<Option<Box<Node>>>,
+}
+
+impl Node {
+    fn new(hash: PHash, item: usize) -> Self {
+        Self {
+            hash,
+            item,
+            duplicates: Vec::new(),
+            children: vec![None; 65],
+        }
+    }
+}
+
+/// An exact Hamming-metric BK-tree.
+#[derive(Debug, Clone)]
+pub struct BkTreeIndex {
+    root: Option<Box<Node>>,
+    hashes: Vec<PHash>,
+}
+
+impl BkTreeIndex {
+    /// Build from a hash list.
+    pub fn new(hashes: Vec<PHash>) -> Self {
+        let mut tree = Self {
+            root: None,
+            hashes: Vec::new(),
+        };
+        for h in hashes {
+            tree.insert(h);
+        }
+        tree
+    }
+
+    /// Insert one hash (items are numbered in insertion order).
+    pub fn insert(&mut self, hash: PHash) {
+        let item = self.hashes.len();
+        self.hashes.push(hash);
+        match &mut self.root {
+            None => self.root = Some(Box::new(Node::new(hash, item))),
+            Some(root) => {
+                let mut node = root;
+                loop {
+                    let d = node.hash.distance(hash) as usize;
+                    if d == 0 {
+                        node.duplicates.push(item);
+                        return;
+                    }
+                    if node.children[d].is_none() {
+                        node.children[d] = Some(Box::new(Node::new(hash, item)));
+                        return;
+                    }
+                    node = node.children[d].as_mut().expect("checked above");
+                }
+            }
+        }
+    }
+
+    fn collect(node: &Node, query: PHash, radius: u32, out: &mut Vec<usize>) {
+        let d = node.hash.distance(query);
+        if d <= radius {
+            out.push(node.item);
+            out.extend_from_slice(&node.duplicates);
+        }
+        let lo = d.saturating_sub(radius) as usize;
+        let hi = (d + radius).min(64) as usize;
+        for child in node.children[lo..=hi].iter().flatten() {
+            Self::collect(child, query, radius, out);
+        }
+    }
+}
+
+impl HammingIndex for BkTreeIndex {
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn hash_at(&self, i: usize) -> PHash {
+        self.hashes[i]
+    }
+
+    fn radius_query(&self, query: PHash, radius: u32) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::collect(root, query, radius, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = BkTreeIndex::new(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.radius_query(PHash(7), 64).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let t = BkTreeIndex::new(vec![PHash(5)]);
+        assert_eq!(t.radius_query(PHash(5), 0), vec![0]);
+        assert_eq!(t.radius_query(PHash(4), 0), Vec::<usize>::new());
+        assert_eq!(t.radius_query(PHash(4), 1), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_returned_together() {
+        let h = PHash(0xFF);
+        let t = BkTreeIndex::new(vec![h, PHash(0), h, h]);
+        let mut r = t.radius_query(h, 0);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn radius_zero_exact_match_only() {
+        let hashes: Vec<PHash> = (0..64).map(|i| PHash(1u64 << i)).collect();
+        let t = BkTreeIndex::new(hashes);
+        assert_eq!(t.radius_query(PHash(1), 0), vec![0]);
+        // Every single-bit hash is at distance 2 from every other.
+        assert_eq!(t.radius_query(PHash(1), 2).len(), 64);
+    }
+
+    #[test]
+    fn max_radius_returns_everything() {
+        let hashes = vec![PHash(0), PHash(u64::MAX), PHash(0xF0F0)];
+        let t = BkTreeIndex::new(hashes);
+        assert_eq!(t.radius_query(PHash(123), 64).len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hamming radius-query engines — Step 2 of the paper's pipeline.
+//!
+//! "We perform a pairwise comparison of all the pHashes using Hamming
+//! distance. To support large numbers of images, we implement a highly
+//! parallelizable system on top of TensorFlow, which uses multiple GPUs"
+//! (§2.2). GPUs are not available here, so this crate substitutes
+//! *algorithmic* speedups with the same contract — return **all** items
+//! within a Hamming radius of a query, exactly:
+//!
+//! * [`BruteForceIndex`] — linear scan; simple, the correctness oracle,
+//!   and parallelized across queries with crossbeam scoped threads;
+//! * [`BkTreeIndex`] — a BK-tree over the Hamming metric;
+//! * [`MihIndex`] — multi-index hashing: split each 64-bit hash into
+//!   `r + 1` bands; by pigeonhole, any hash within distance `r` matches
+//!   at least one band exactly, so candidates come from `r + 1` exact
+//!   table lookups.
+//!
+//! All engines implement [`HammingIndex`]; the DBSCAN stage and the
+//! association stage (Step 6) are generic over it. [`all_neighbors`]
+//! computes every item's radius neighbourhood in parallel — the
+//! "pairwise comparison" driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bktree;
+pub mod brute;
+pub mod mih;
+
+pub use bktree::BkTreeIndex;
+pub use brute::BruteForceIndex;
+pub use mih::MihIndex;
+
+use meme_phash::PHash;
+
+/// An exact radius-query index over a fixed set of 64-bit hashes.
+///
+/// Indices returned by queries refer to the order of the hash slice the
+/// engine was built from. A query hash that is itself in the index *is*
+/// returned (distance 0 ≤ r); callers that need open neighbourhoods
+/// filter the self-index out.
+pub trait HammingIndex {
+    /// Number of indexed hashes.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hash stored at position `i`.
+    fn hash_at(&self, i: usize) -> PHash;
+
+    /// All indices `i` with `distance(query, hash_at(i)) <= radius`,
+    /// in ascending index order.
+    fn radius_query(&self, query: PHash, radius: u32) -> Vec<usize>;
+}
+
+/// Compute the radius neighbourhood of every indexed item, in parallel
+/// across `threads` worker threads (pass 0 to use available parallelism).
+///
+/// `result[i]` contains all `j != i` within `radius` of item `i`, the
+/// adjacency DBSCAN consumes. Deterministic regardless of thread count.
+pub fn all_neighbors<I: HammingIndex + Sync>(
+    index: &I,
+    radius: u32,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let n = index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, n);
+    let mut result: Vec<Vec<usize>> = vec![Vec::new(); n];
+    {
+        let chunks: Vec<(usize, &mut [Vec<usize>])> = {
+            // Split the output into per-thread chunks carrying their
+            // starting offset.
+            let chunk_len = n.div_ceil(threads);
+            let mut rest: &mut [Vec<usize>] = &mut result;
+            let mut out = Vec::new();
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = chunk_len.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                out.push((offset, head));
+                offset += take;
+                rest = tail;
+            }
+            out
+        };
+        crossbeam::thread::scope(|s| {
+            for (offset, chunk) in chunks {
+                s.spawn(move |_| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let i = offset + k;
+                        let mut neigh = index.radius_query(index.hash_at(i), radius);
+                        neigh.retain(|&j| j != i);
+                        *slot = neigh;
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    result
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meme_stats::seeded_rng;
+    use rand::RngExt;
+
+    fn random_hashes(n: usize, seed: u64) -> Vec<PHash> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| PHash(rng.random())).collect()
+    }
+
+    #[test]
+    fn all_neighbors_excludes_self_and_matches_brute() {
+        let hashes = random_hashes(200, 1);
+        let idx = BruteForceIndex::new(hashes.clone());
+        let nbrs = all_neighbors(&idx, 30, 3);
+        assert_eq!(nbrs.len(), 200);
+        for (i, list) in nbrs.iter().enumerate() {
+            assert!(!list.contains(&i));
+            for &j in list {
+                assert!(hashes[i].distance(hashes[j]) <= 30);
+            }
+        }
+    }
+
+    #[test]
+    fn all_neighbors_deterministic_across_thread_counts() {
+        let hashes = random_hashes(150, 2);
+        let idx = BruteForceIndex::new(hashes);
+        let a = all_neighbors(&idx, 28, 1);
+        let b = all_neighbors(&idx, 28, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_neighbors_empty_index() {
+        let idx = BruteForceIndex::new(Vec::new());
+        assert!(all_neighbors(&idx, 8, 0).is_empty());
+    }
+
+    #[test]
+    fn engines_agree_on_random_workload() {
+        let hashes = random_hashes(300, 3);
+        let brute = BruteForceIndex::new(hashes.clone());
+        let bk = BkTreeIndex::new(hashes.clone());
+        let mih = MihIndex::new(hashes.clone(), 8);
+        let mut rng = seeded_rng(4);
+        for _ in 0..50 {
+            // Mix indexed and random queries.
+            let q = if rng.random_bool(0.5) {
+                hashes[rng.random_range(0..hashes.len())]
+            } else {
+                PHash(rng.random())
+            };
+            for r in [0u32, 2, 5, 8] {
+                let expected = brute.radius_query(q, r);
+                assert_eq!(bk.radius_query(q, r), expected, "bk radius {r}");
+                assert_eq!(mih.radius_query(q, r), expected, "mih radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_clustered_hashes() {
+        // Clustered workload: groups of hashes within small distance.
+        let mut rng = seeded_rng(5);
+        let mut hashes = Vec::new();
+        for _ in 0..20 {
+            let center = PHash(rng.random());
+            for _ in 0..10 {
+                let flips: Vec<u8> = (0..rng.random_range(0..5u8))
+                    .map(|_| rng.random_range(0..64u8))
+                    .collect();
+                hashes.push(center.with_flipped_bits(&flips));
+            }
+        }
+        let brute = BruteForceIndex::new(hashes.clone());
+        let bk = BkTreeIndex::new(hashes.clone());
+        let mih = MihIndex::new(hashes.clone(), 8);
+        for &q in &hashes {
+            let expected = brute.radius_query(q, 8);
+            assert_eq!(bk.radius_query(q, 8), expected);
+            assert_eq!(mih.radius_query(q, 8), expected);
+        }
+    }
+}

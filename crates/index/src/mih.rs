@@ -1,0 +1,225 @@
+//! Multi-index hashing: exact radius queries via pigeonhole banding.
+//!
+//! Split every 64-bit hash into `m = max_radius + 1` disjoint bit bands.
+//! If two hashes differ in at most `max_radius` bits, at least one band
+//! is **identical** in both (pigeonhole: `max_radius` differing bits
+//! cannot touch all `max_radius + 1` bands). A query therefore probes
+//! one exact-match table per band, unions the candidates, and verifies
+//! true distances — `m` hash-map lookups instead of a linear scan.
+//!
+//! This is the classic MIH scheme (Norouzi, Punjani & Fleet, CVPR 2012)
+//! specialized to single-probe bands; it is the engine the pipeline uses
+//! for the paper's `eps = 8` workloads, replacing the authors' GPU
+//! pairwise system.
+
+use crate::HammingIndex;
+use meme_phash::PHash;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Band {
+    shift: u32,
+    width: u32,
+}
+
+impl Band {
+    #[inline]
+    fn extract(&self, h: PHash) -> u64 {
+        if self.width == 64 {
+            h.bits()
+        } else {
+            (h.bits() >> self.shift) & ((1u64 << self.width) - 1)
+        }
+    }
+}
+
+/// Multi-index hashing engine supporting exact queries up to a fixed
+/// maximum radius.
+#[derive(Debug, Clone)]
+pub struct MihIndex {
+    hashes: Vec<PHash>,
+    bands: Vec<Band>,
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    max_radius: u32,
+}
+
+impl MihIndex {
+    /// Build an index answering queries with radius `<= max_radius`.
+    ///
+    /// # Panics
+    /// Panics when `max_radius >= 64` (the band count would exceed the
+    /// hash width; use brute force for such radii — at that point every
+    /// scan is near-total anyway).
+    pub fn new(hashes: Vec<PHash>, max_radius: u32) -> Self {
+        assert!(
+            max_radius < 64,
+            "MIH banding needs max_radius < 64; use BruteForceIndex for larger radii"
+        );
+        let m = max_radius + 1;
+        // Distribute 64 bits over m bands: the first (64 % m) bands get
+        // the extra bit.
+        let base = 64 / m;
+        let extra = 64 % m;
+        let mut bands = Vec::with_capacity(m as usize);
+        let mut shift = 0u32;
+        for i in 0..m {
+            let width = base + u32::from(i < extra);
+            bands.push(Band { shift, width });
+            shift += width;
+        }
+        debug_assert_eq!(shift, 64);
+
+        let mut tables: Vec<HashMap<u64, Vec<usize>>> = vec![HashMap::new(); m as usize];
+        for (i, &h) in hashes.iter().enumerate() {
+            for (b, band) in bands.iter().enumerate() {
+                tables[b].entry(band.extract(h)).or_default().push(i);
+            }
+        }
+        Self {
+            hashes,
+            bands,
+            tables,
+            max_radius,
+        }
+    }
+
+    /// The maximum radius this index can answer exactly.
+    pub fn max_radius(&self) -> u32 {
+        self.max_radius
+    }
+}
+
+impl HammingIndex for MihIndex {
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn hash_at(&self, i: usize) -> PHash {
+        self.hashes[i]
+    }
+
+    /// # Panics
+    /// Panics when `radius > max_radius`; the banding only guarantees
+    /// exactness up to the radius the index was built for.
+    fn radius_query(&self, query: PHash, radius: u32) -> Vec<usize> {
+        assert!(
+            radius <= self.max_radius,
+            "query radius {radius} exceeds index max_radius {}",
+            self.max_radius
+        );
+        // Gather candidates from each band's exact-match bucket, then
+        // verify. Dedup via a sorted candidate list: candidate counts are
+        // small (bucket collisions only).
+        let mut candidates: Vec<usize> = Vec::new();
+        for (b, band) in self.bands.iter().enumerate() {
+            if let Some(bucket) = self.tables[b].get(&band.extract(query)) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&i| query.distance(self.hashes[i]) <= radius);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+    use meme_stats::seeded_rng;
+    use rand::RngExt;
+
+    #[test]
+    fn empty_index() {
+        let idx = MihIndex::new(Vec::new(), 8);
+        assert!(idx.is_empty());
+        assert!(idx.radius_query(PHash(0), 8).is_empty());
+    }
+
+    #[test]
+    fn pigeonhole_guarantee_at_max_radius() {
+        // Construct hashes at exactly max_radius from the query, with
+        // flips adversarially concentrated to try to break banding.
+        let q = PHash(0);
+        let r = 8u32;
+        let mut hashes = Vec::new();
+        // All flips in the low bits (first bands).
+        hashes.push(PHash(0xFF));
+        // All flips in the high bits (last bands).
+        hashes.push(PHash(0xFF00_0000_0000_0000));
+        // Spread: one flip in each of 8 bands.
+        let spread: Vec<u8> = (0..8).map(|i| i * 8).collect();
+        hashes.push(q.with_flipped_bits(&spread));
+        // Distance 9: must NOT be returned at radius 8.
+        hashes.push(PHash(0x1FF));
+        let idx = MihIndex::new(hashes, r);
+        let got = idx.radius_query(q, r);
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_near_threshold() {
+        let mut rng = seeded_rng(77);
+        let mut hashes = Vec::new();
+        let center = PHash(rng.random());
+        for d in 0..=12u8 {
+            // A few hashes at each exact distance d from the center.
+            for _ in 0..5 {
+                let mut positions = Vec::new();
+                while positions.len() < d as usize {
+                    let p = rng.random_range(0..64u8);
+                    if !positions.contains(&p) {
+                        positions.push(p);
+                    }
+                }
+                hashes.push(center.with_flipped_bits(&positions));
+            }
+        }
+        let brute = BruteForceIndex::new(hashes.clone());
+        let mih = MihIndex::new(hashes, 10);
+        for r in 0..=10u32 {
+            assert_eq!(mih.radius_query(center, r), brute.radius_query(center, r));
+        }
+    }
+
+    #[test]
+    fn radius_zero_band_widths() {
+        // max_radius = 0 → a single 64-bit band (exact lookup).
+        let h = PHash(0xABCD);
+        let idx = MihIndex::new(vec![h, PHash(0xABCE)], 0);
+        assert_eq!(idx.radius_query(h, 0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds index max_radius")]
+    fn over_radius_query_panics() {
+        let idx = MihIndex::new(vec![PHash(0)], 4);
+        let _ = idx.radius_query(PHash(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_radius < 64")]
+    fn absurd_radius_panics() {
+        let _ = MihIndex::new(Vec::new(), 64);
+    }
+
+    #[test]
+    fn uneven_band_widths_cover_all_bits() {
+        // 64 / 9 bands = widths {8,8,8,8,8,8,8,7,... } — verify queries
+        // still work when bands are uneven (max_radius = 8 → 9 bands).
+        let q = PHash(u64::MAX);
+        let near = q.with_flipped_bits(&[63]); // flip in the last band
+        let idx = MihIndex::new(vec![near], 8);
+        assert_eq!(idx.radius_query(q, 1), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let h = PHash(99);
+        let idx = MihIndex::new(vec![h, h], 8);
+        // Each duplicate index appears once even though it is in every
+        // band bucket.
+        assert_eq!(idx.radius_query(h, 8), vec![0, 1]);
+    }
+}

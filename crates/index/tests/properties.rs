@@ -1,0 +1,93 @@
+//! Property-based tests: all engines agree with brute force on
+//! arbitrary workloads, across radii and duplicate patterns.
+
+#![allow(clippy::needless_range_loop)]
+
+use meme_index::{all_neighbors, BkTreeIndex, BruteForceIndex, HammingIndex, MihIndex};
+use meme_phash::PHash;
+use proptest::prelude::*;
+
+fn hashes_strategy() -> impl Strategy<Value = Vec<PHash>> {
+    prop::collection::vec(any::<u64>().prop_map(PHash), 0..150)
+}
+
+/// Clustered workloads: centers plus near-duplicates (the realistic
+/// regime for perceptual hashes).
+fn clustered_strategy() -> impl Strategy<Value = Vec<PHash>> {
+    prop::collection::vec(
+        (any::<u64>(), prop::collection::vec(0u8..64, 0..6), 1usize..5),
+        1..20,
+    )
+    .prop_map(|families| {
+        let mut out = Vec::new();
+        for (center, flips, copies) in families {
+            let c = PHash(center);
+            for k in 0..copies {
+                let mut f = flips.clone();
+                f.truncate(k.min(f.len()));
+                out.push(c.with_flipped_bits(&f));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_uniform(hashes in hashes_strategy(), query: u64, radius in 0u32..12) {
+        let q = PHash(query);
+        let brute = BruteForceIndex::new(hashes.clone());
+        let bk = BkTreeIndex::new(hashes.clone());
+        let mih = MihIndex::new(hashes.clone(), 12);
+        let expected = brute.radius_query(q, radius);
+        prop_assert_eq!(bk.radius_query(q, radius), expected.clone());
+        prop_assert_eq!(mih.radius_query(q, radius), expected);
+    }
+
+    #[test]
+    fn engines_agree_clustered(hashes in clustered_strategy(), radius in 0u32..10) {
+        let brute = BruteForceIndex::new(hashes.clone());
+        let bk = BkTreeIndex::new(hashes.clone());
+        let mih = MihIndex::new(hashes.clone(), 10);
+        for &q in hashes.iter().take(20) {
+            let expected = brute.radius_query(q, radius);
+            prop_assert_eq!(bk.radius_query(q, radius), expected.clone());
+            prop_assert_eq!(mih.radius_query(q, radius), expected);
+        }
+    }
+
+    #[test]
+    fn queries_return_sorted_unique_indices(hashes in hashes_strategy(), query: u64, radius in 0u32..64) {
+        let brute = BruteForceIndex::new(hashes);
+        let result = brute.radius_query(PHash(query), radius);
+        for w in result.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn radius_monotonicity(hashes in hashes_strategy(), query: u64, r1 in 0u32..10, extra in 0u32..10) {
+        let q = PHash(query);
+        let mih = MihIndex::new(hashes, 20);
+        let small = mih.radius_query(q, r1);
+        let big = mih.radius_query(q, r1 + extra);
+        // Growing the radius never loses results.
+        for i in &small {
+            prop_assert!(big.contains(i));
+        }
+    }
+
+    #[test]
+    fn all_neighbors_is_symmetric(hashes in clustered_strategy(), radius in 0u32..10) {
+        let idx = BruteForceIndex::new(hashes);
+        let adj = all_neighbors(&idx, radius, 2);
+        for (i, nbrs) in adj.iter().enumerate() {
+            for &j in nbrs {
+                prop_assert!(adj[j].contains(&i), "edge {i}->{j} not symmetric");
+                prop_assert!(j != i, "self-loop at {i}");
+            }
+        }
+    }
+}

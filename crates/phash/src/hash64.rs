@@ -1,0 +1,187 @@
+//! The 64-bit perceptual fingerprint type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum possible Hamming distance between two [`PHash`] values. The
+/// paper's Eq. 2 uses this as `max` ("recall that each pHash has a size of
+/// |d|=64, hence max=64").
+pub const MAX_DISTANCE: u32 = 64;
+
+/// A 64-bit perceptual hash.
+///
+/// Displayed and parsed as 16 lowercase hex digits, matching the paper's
+/// examples (`55352b0b8d8b5b53`, `55952b0bb58b5353`, …).
+///
+/// ```
+/// use meme_phash::PHash;
+/// let a: PHash = "55352b0b8d8b5b53".parse().unwrap();
+/// let b: PHash = "55952b0bb58b5353".parse().unwrap();
+/// assert_eq!(a.to_string(), "55352b0b8d8b5b53");
+/// assert!(a.distance(b) <= 8); // same Smug Frog cluster
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PHash(pub u64);
+
+impl PHash {
+    /// Construct from raw bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bits.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Hamming distance to another hash (number of differing bits).
+    #[inline]
+    pub const fn distance(self, other: PHash) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Perceptual similarity in `[0, 1]`: `1 - d / 64`.
+    pub fn similarity(self, other: PHash) -> f64 {
+        1.0 - self.distance(other) as f64 / MAX_DISTANCE as f64
+    }
+
+    /// Flip `k` deterministic bit positions; test helper for constructing
+    /// hashes at a known distance.
+    pub fn with_flipped_bits(self, positions: &[u8]) -> Self {
+        let mut bits = self.0;
+        for &p in positions {
+            bits ^= 1u64 << (p % 64);
+        }
+        Self(bits)
+    }
+}
+
+impl fmt::Display for PHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Error when parsing a [`PHash`] from a hex string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hash64ParseError {
+    /// Input was not exactly 16 characters.
+    BadLength(usize),
+    /// Input contained a non-hex character.
+    BadDigit(char),
+}
+
+impl fmt::Display for Hash64ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadLength(n) => write!(f, "expected 16 hex digits, got {n} characters"),
+            Self::BadDigit(c) => write!(f, "invalid hex digit {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Hash64ParseError {}
+
+impl FromStr for PHash {
+    type Err = Hash64ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 16 {
+            return Err(Hash64ParseError::BadLength(s.len()));
+        }
+        let mut bits = 0u64;
+        for c in s.chars() {
+            let d = c
+                .to_digit(16)
+                .ok_or(Hash64ParseError::BadDigit(c))? as u64;
+            bits = (bits << 4) | d;
+        }
+        Ok(Self(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_hashes_roundtrip() {
+        for s in ["55352b0b8d8b5b53", "55952b0bb58b5353", "55952b2b9da58a53"] {
+            let h: PHash = s.parse().unwrap();
+            assert_eq!(h.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn paper_cluster_hashes_are_close() {
+        // The three Smug Frog "cluster N" hashes from §2.2 should all be
+        // within the clustering threshold of each other.
+        // DBSCAN chains points through eps-neighbourhoods, so not every
+        // pair in a cluster is within eps; but at least one link must be,
+        // and all pairs stay far below random (expected distance 32).
+        let a: PHash = "55352b0b8d8b5b53".parse().unwrap();
+        let b: PHash = "55952b0bb58b5353".parse().unwrap();
+        let c: PHash = "55952b2b9da58a53".parse().unwrap();
+        assert!(a.distance(b) <= 8, "d(a,b) = {}", a.distance(b));
+        assert!(b.distance(c) <= 16, "d(b,c) = {}", b.distance(c));
+        assert!(a.distance(c) <= 16, "d(a,c) = {}", a.distance(c));
+    }
+
+    #[test]
+    fn distance_properties() {
+        let a = PHash(0);
+        let b = PHash(u64::MAX);
+        assert_eq!(a.distance(a), 0);
+        assert_eq!(a.distance(b), 64);
+        assert_eq!(a.similarity(b), 0.0);
+        assert_eq!(a.similarity(a), 1.0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "abc".parse::<PHash>(),
+            Err(Hash64ParseError::BadLength(3))
+        );
+        assert_eq!(
+            "g5352b0b8d8b5b53".parse::<PHash>(),
+            Err(Hash64ParseError::BadDigit('g'))
+        );
+    }
+
+    #[test]
+    fn flipped_bits_distance() {
+        let h = PHash(0x1234_5678_9abc_def0);
+        let f = h.with_flipped_bits(&[0, 5, 63]);
+        assert_eq!(h.distance(f), 3);
+        // Flipping the same bit twice cancels.
+        let g = h.with_flipped_bits(&[7, 7]);
+        assert_eq!(h.distance(g), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_roundtrip(bits: u64) {
+            let h = PHash(bits);
+            let s = h.to_string();
+            prop_assert_eq!(s.parse::<PHash>().unwrap(), h);
+        }
+
+        #[test]
+        fn metric_axioms(a: u64, b: u64, c: u64) {
+            let (a, b, c) = (PHash(a), PHash(b), PHash(c));
+            // Symmetry.
+            prop_assert_eq!(a.distance(b), b.distance(a));
+            // Identity of indiscernibles.
+            prop_assert_eq!(a.distance(a), 0);
+            // Triangle inequality.
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+            // Bounded by 64.
+            prop_assert!(a.distance(b) <= MAX_DISTANCE);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Perceptual image hashing — Step 1 of the paper's pipeline.
+//!
+//! "We use the Perceptual Hashing (pHash) algorithm to calculate a
+//! fingerprint of each image in such a way that any two images that look
+//! similar to the human eye map to a 'similar' hash value. pHash generates
+//! a feature vector of 64 elements that describe an image, computed from
+//! the Discrete Cosine Transform among the different frequency domains of
+//! the image." (§2.2)
+//!
+//! This crate provides:
+//!
+//! * [`PHash`] — a 64-bit fingerprint with Hamming distance and the hex
+//!   string format the paper prints (`55352b0b8d8b5b53`);
+//! * [`PerceptualHasher`] — the classic DCT pHash (resize to 32×32, 2-D
+//!   DCT-II, keep the 8×8 low-frequency block, threshold at the median of
+//!   the AC coefficients);
+//! * [`AverageHasher`] and [`DifferenceHasher`] — the standard aHash and
+//!   dHash baselines, used by the ablation benches to show why the paper
+//!   chose pHash;
+//! * the [`ImageHasher`] trait that the rest of the pipeline is generic
+//!   over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash64;
+pub mod hashers;
+
+pub use hash64::{Hash64ParseError, PHash, MAX_DISTANCE};
+pub use hashers::{AverageHasher, DifferenceHasher, ImageHasher, PerceptualHasher};

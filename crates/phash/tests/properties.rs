@@ -1,0 +1,102 @@
+//! Property-based tests: perceptual-hash robustness over arbitrary
+//! templates and perturbation magnitudes — Step 1's contract with the
+//! rest of the pipeline.
+
+use meme_imaging::synth::{JitterConfig, TemplateGenome, VariantGenome};
+use meme_imaging::transform;
+use meme_phash::{AverageHasher, DifferenceHasher, ImageHasher, PerceptualHasher};
+use meme_stats::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hash_is_pure(seed: u64) {
+        let img = TemplateGenome::new(seed).render(64);
+        let h = PerceptualHasher::new();
+        prop_assert_eq!(h.hash(&img), h.hash(&img));
+    }
+
+    #[test]
+    fn brightness_and_contrast_within_threshold(seed: u64, delta in -0.08f32..0.08, factor in 0.85f32..1.18) {
+        let img = TemplateGenome::new(seed).render(64);
+        let h = PerceptualHasher::new();
+        let base = h.hash(&img);
+        let moved = h.hash(&transform::contrast(&transform::brightness(&img, delta), factor));
+        prop_assert!(
+            base.distance(moved) <= 8,
+            "photometric jitter moved hash by {}",
+            base.distance(moved)
+        );
+    }
+
+    #[test]
+    fn rescale_within_threshold(seed: u64, factor in 0.6f32..1.5) {
+        let img = TemplateGenome::new(seed).render(64);
+        let h = PerceptualHasher::new();
+        let base = h.hash(&img);
+        let moved = h.hash(&transform::rescale_cycle(&img, factor));
+        prop_assert!(base.distance(moved) <= 8);
+    }
+
+    #[test]
+    fn photometric_jitter_within_clustering_threshold(template_seed: u64, variant_seed: u64, jitter_seed: u64) {
+        // Crop-free jitter must always stay within eps = 8; the crop
+        // component is allowed to push individual re-posts further (the
+        // DBSCAN chain absorbs them), bounded below.
+        let v = VariantGenome::random(TemplateGenome::new(template_seed), variant_seed, 1);
+        let h = PerceptualHasher::new();
+        let canon = h.hash(&v.render(64));
+        let mut rng = seeded_rng(jitter_seed);
+        let photometric = JitterConfig { crop_prob: 0.0, ..JitterConfig::default() };
+        let jittered = h.hash(&v.render_jittered(64, &photometric, &mut rng));
+        prop_assert!(
+            canon.distance(jittered) <= 8,
+            "photometric jitter broke clustering contract: distance {}",
+            canon.distance(jittered)
+        );
+    }
+
+    #[test]
+    fn full_jitter_stays_moderate(template_seed: u64, variant_seed: u64, jitter_seed: u64) {
+        let v = VariantGenome::random(TemplateGenome::new(template_seed), variant_seed, 1);
+        let h = PerceptualHasher::new();
+        let canon = h.hash(&v.render(64));
+        let mut rng = seeded_rng(jitter_seed);
+        let jittered = h.hash(&v.render_jittered(64, &JitterConfig::default(), &mut rng));
+        prop_assert!(
+            canon.distance(jittered) <= 18,
+            "full jitter escaped the cluster: distance {}",
+            canon.distance(jittered)
+        );
+    }
+
+    #[test]
+    fn distinct_templates_rarely_collide(a: u64, b: u64) {
+        prop_assume!(a != b);
+        let h = PerceptualHasher::new();
+        let ha = h.hash(&TemplateGenome::new(a).render(64));
+        let hb = h.hash(&TemplateGenome::new(b).render(64));
+        // Random 64-bit fingerprints of independent low-frequency fields
+        // concentrate around distance 32; anything below the clustering
+        // threshold would poison DBSCAN. Allow a tiny margin above θ=8
+        // for pathological draws.
+        prop_assert!(
+            ha.distance(hb) > 10,
+            "templates {a} and {b} collide at distance {}",
+            ha.distance(hb)
+        );
+    }
+
+    #[test]
+    fn all_hashers_are_deterministic_and_distinct(seed: u64) {
+        let img = TemplateGenome::new(seed).render(64);
+        let p = PerceptualHasher::new().hash(&img);
+        let a = AverageHasher.hash(&img);
+        let d = DifferenceHasher.hash(&img);
+        prop_assert_eq!(PerceptualHasher::new().hash(&img), p);
+        prop_assert_eq!(AverageHasher.hash(&img), a);
+        prop_assert_eq!(DifferenceHasher.hash(&img), d);
+    }
+}

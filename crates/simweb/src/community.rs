@@ -1,0 +1,338 @@
+//! The five Web communities and their posting profiles.
+
+use meme_stats::dist::LogNormal;
+use meme_stats::WsRng;
+use rand::distr::Distribution;
+use serde::{Deserialize, Serialize};
+
+/// The five communities of the paper's Hawkes model, in the order of
+/// Figs. 11–16 rows/columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Community {
+    /// 4chan's Politically Incorrect board.
+    Pol,
+    /// Reddit excluding The_Donald (the paper keeps T_D separate
+    /// because it is a fringe seed community).
+    Reddit,
+    /// Twitter (1% streaming sample in the paper).
+    Twitter,
+    /// Gab.
+    Gab,
+    /// The The_Donald subreddit.
+    TheDonald,
+}
+
+impl Community {
+    /// All communities in figure order.
+    pub const ALL: [Community; 5] = [
+        Community::Pol,
+        Community::Reddit,
+        Community::Twitter,
+        Community::Gab,
+        Community::TheDonald,
+    ];
+
+    /// Number of communities.
+    pub const COUNT: usize = 5;
+
+    /// Hawkes process index (stable across the workspace).
+    pub fn index(self) -> usize {
+        match self {
+            Community::Pol => 0,
+            Community::Reddit => 1,
+            Community::Twitter => 2,
+            Community::Gab => 3,
+            Community::TheDonald => 4,
+        }
+    }
+
+    /// Inverse of [`Community::index`].
+    ///
+    /// # Panics
+    /// Panics when `i >= 5`.
+    pub fn from_index(i: usize) -> Self {
+        Community::ALL
+            .iter()
+            .copied()
+            .find(|c| c.index() == i)
+            .expect("community index out of range")
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Community::Pol => "/pol/",
+            Community::Reddit => "Reddit",
+            Community::Twitter => "Twitter",
+            Community::Gab => "Gab",
+            Community::TheDonald => "T_D",
+        }
+    }
+
+    /// The three fringe communities whose images seed the clustering
+    /// (§3.3: "/pol/, The Donald subreddit, and Gab, as we treat them as
+    /// fringe Web communities").
+    pub const FRINGE: [Community; 3] =
+        [Community::Pol, Community::TheDonald, Community::Gab];
+
+    /// Whether this community is a clustering seed.
+    pub fn is_fringe(self) -> bool {
+        Community::FRINGE.contains(&self)
+    }
+
+    /// Whether posts on this community carry vote scores (§4.2.3:
+    /// "Reddit and Gab incorporate a voting system").
+    pub fn has_scores(self) -> bool {
+        matches!(
+            self,
+            Community::Reddit | Community::Gab | Community::TheDonald
+        )
+    }
+
+    /// Day (since dataset start) the community comes online. Gab
+    /// launched in August 2016, one month and some days into the
+    /// 13-month window.
+    pub fn start_day(self) -> f64 {
+        match self {
+            Community::Gab => 40.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Wrapper over the annotation crate's screenshot platforms so the
+/// dataset stays serde-serializable without exposing annotate types in
+/// every signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScreenshotPlatform {
+    /// Twitter-styled screenshot.
+    Twitter,
+    /// 4chan-styled screenshot.
+    FourChan,
+    /// Reddit-styled screenshot.
+    Reddit,
+    /// Facebook-styled screenshot.
+    Facebook,
+    /// Instagram-styled screenshot.
+    Instagram,
+}
+
+impl ScreenshotPlatform {
+    /// All platforms.
+    pub const ALL: [ScreenshotPlatform; 5] = [
+        ScreenshotPlatform::Twitter,
+        ScreenshotPlatform::FourChan,
+        ScreenshotPlatform::Reddit,
+        ScreenshotPlatform::Facebook,
+        ScreenshotPlatform::Instagram,
+    ];
+
+    /// Convert to the renderer's platform type.
+    pub fn to_source(self) -> meme_annotate::screenshot::SourcePlatform {
+        use meme_annotate::screenshot::SourcePlatform as S;
+        match self {
+            ScreenshotPlatform::Twitter => S::Twitter,
+            ScreenshotPlatform::FourChan => S::FourChan,
+            ScreenshotPlatform::Reddit => S::Reddit,
+            ScreenshotPlatform::Facebook => S::Facebook,
+            ScreenshotPlatform::Instagram => S::Instagram,
+        }
+    }
+}
+
+/// Static per-community posting profile. Volumes are *relative*; the
+/// dataset scale multiplies them into absolute counts. The ratios track
+/// Table 1 (posts) and Table 7 (meme events).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityProfile {
+    /// The community.
+    pub community: Community,
+    /// Relative total posts per day (Table 1: Twitter 1.47B ≫ Reddit
+    /// 1.08B ≫ /pol/ 48.7M ≫ Gab 12.4M over 13 months).
+    pub daily_posts: f64,
+    /// Fraction of posts carrying an image (Table 1: Twitter 16.5%,
+    /// Reddit 5.8%, /pol/ 27.1%, Gab 7.7%).
+    pub image_fraction: f64,
+    /// Relative volume of *one-off* (non-meme) image posts vs meme image
+    /// posts on the community — this sets the DBSCAN noise mass
+    /// (Table 2: 63%–69% on the fringe communities).
+    pub oneoff_ratio: f64,
+    /// Screenshot families posted per meme post (fringe communities
+    /// only) — the "similar screenshots of social network posts" mass
+    /// of §4.1.1.
+    pub screenshot_family_rate: f64,
+    /// Log-score location for non-political, non-racist meme posts
+    /// (only used when [`Community::has_scores`]).
+    pub score_mu: f64,
+    /// Log-score scale.
+    pub score_sigma: f64,
+}
+
+impl CommunityProfile {
+    /// The default profile set, calibrated to the paper's Tables 1, 2
+    /// and 7 ratios.
+    pub fn defaults() -> Vec<CommunityProfile> {
+        vec![
+            CommunityProfile {
+                community: Community::Pol,
+                daily_posts: 4700.0,
+                image_fraction: 0.27,
+                oneoff_ratio: 1.8,
+                screenshot_family_rate: 0.012,
+                score_mu: 0.0,
+                score_sigma: 0.0,
+            },
+            CommunityProfile {
+                community: Community::Reddit,
+                daily_posts: 13000.0,
+                image_fraction: 0.06,
+                oneoff_ratio: 3.0,
+                screenshot_family_rate: 0.0,
+                score_mu: 1.3,
+                score_sigma: 1.6,
+            },
+            CommunityProfile {
+                community: Community::Twitter,
+                daily_posts: 16500.0,
+                image_fraction: 0.165,
+                oneoff_ratio: 8.0,
+                screenshot_family_rate: 0.0,
+                score_mu: 0.0,
+                score_sigma: 0.0,
+            },
+            CommunityProfile {
+                community: Community::Gab,
+                daily_posts: 1250.0,
+                image_fraction: 0.077,
+                oneoff_ratio: 1.3,
+                screenshot_family_rate: 0.01,
+                score_mu: 1.1,
+                score_sigma: 1.4,
+            },
+            CommunityProfile {
+                community: Community::TheDonald,
+                daily_posts: 1700.0,
+                image_fraction: 0.25,
+                oneoff_ratio: 1.8,
+                screenshot_family_rate: 0.01,
+                score_mu: 1.5,
+                score_sigma: 1.6,
+            },
+        ]
+    }
+
+    /// Draw a vote score for a post, conditioned on the meme group.
+    /// Calibrated to Fig. 9: on Reddit, political memes out-score
+    /// others and racist memes under-score; on Gab, political ≈
+    /// non-political while racist memes score far lower.
+    pub fn draw_score(&self, political: bool, racist: bool, rng: &mut WsRng) -> i64 {
+        let mut mu = self.score_mu;
+        match self.community {
+            Community::Reddit | Community::TheDonald => {
+                if political {
+                    mu += 0.6;
+                }
+                if racist {
+                    mu -= 0.5;
+                }
+            }
+            Community::Gab
+                if racist => {
+                    mu -= 0.9;
+                }
+            _ => {}
+        }
+        let d = LogNormal::new(mu, self.score_sigma.max(1e-6)).expect("valid score model");
+        d.sample(rng).round() as i64
+    }
+}
+
+/// Subreddits used for the Table-6 analysis. The first entry is the
+/// home of most political/racist meme posts (The_Donald); the rest mix
+/// meme-heavy and general-purpose subreddits from the paper's table.
+pub const SUBREDDITS: [&str; 10] = [
+    "The_Donald",
+    "AdviceAnimals",
+    "me_irl",
+    "politics",
+    "funny",
+    "dankmemes",
+    "EnoughTrumpSpam",
+    "pics",
+    "AskReddit",
+    "conspiracy",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meme_stats::seeded_rng;
+
+    #[test]
+    fn index_roundtrip() {
+        for c in Community::ALL {
+            assert_eq!(Community::from_index(c.index()), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = Community::from_index(5);
+    }
+
+    #[test]
+    fn fringe_set_matches_paper() {
+        assert!(Community::Pol.is_fringe());
+        assert!(Community::TheDonald.is_fringe());
+        assert!(Community::Gab.is_fringe());
+        assert!(!Community::Twitter.is_fringe());
+        assert!(!Community::Reddit.is_fringe());
+    }
+
+    #[test]
+    fn gab_starts_late() {
+        assert!(Community::Gab.start_day() > 0.0);
+        assert_eq!(Community::Pol.start_day(), 0.0);
+    }
+
+    #[test]
+    fn volume_ordering_matches_table1() {
+        let p = CommunityProfile::defaults();
+        let get = |c: Community| {
+            p.iter()
+                .find(|x| x.community == c)
+                .expect("profile exists")
+                .daily_posts
+        };
+        assert!(get(Community::Twitter) > get(Community::Reddit));
+        assert!(get(Community::Reddit) > get(Community::Pol));
+        assert!(get(Community::Pol) > get(Community::Gab));
+    }
+
+    #[test]
+    fn score_model_reproduces_fig9_ordering() {
+        let profiles = CommunityProfile::defaults();
+        let reddit = profiles
+            .iter()
+            .find(|p| p.community == Community::Reddit)
+            .unwrap();
+        let gab = profiles
+            .iter()
+            .find(|p| p.community == Community::Gab)
+            .unwrap();
+        let mut rng = seeded_rng(5);
+        let mean = |p: &CommunityProfile, pol: bool, rac: bool, rng: &mut _| -> f64 {
+            let n = 4000;
+            (0..n).map(|_| p.draw_score(pol, rac, rng) as f64).sum::<f64>() / n as f64
+        };
+        // Reddit: political > non-political; racist < non-racist.
+        assert!(mean(reddit, true, false, &mut rng) > mean(reddit, false, false, &mut rng));
+        assert!(mean(reddit, false, true, &mut rng) < mean(reddit, false, false, &mut rng));
+        // Gab: political ~ non-political; racist much lower.
+        let gp = mean(gab, true, false, &mut rng);
+        let gn = mean(gab, false, false, &mut rng);
+        assert!((gp - gn).abs() / gn < 0.35, "gab political {gp} vs {gn}");
+        assert!(mean(gab, false, true, &mut rng) < 0.6 * gn);
+    }
+}

@@ -1,0 +1,204 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! §5.2 of the paper marks influence cells with `*` when two-sample KS
+//! tests find a significant difference (p < 0.01) between the
+//! per-cluster influence distributions of racist vs non-racist (Fig. 13)
+//! and political vs non-political (Fig. 14) memes. This module provides
+//! the exact statistic and the asymptotic Kolmogorov p-value.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic: the supremum distance between the two ECDFs.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Returns `None` when either sample is empty or contains NaN. The
+/// p-value uses the asymptotic Kolmogorov series
+/// `Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²)` with the Stephens effective-n
+/// correction, matching `scipy.stats.ks_2samp(mode="asymp")`.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    if a.iter().chain(b.iter()).any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    // Walk the merged order of both samples, tracking the ECDF gap.
+    while i < n1 && j < n2 {
+        let x = xs[i].min(ys[j]);
+        while i < n1 && xs[i] <= x {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    // Remaining tail never increases the gap beyond what we have seen at
+    // the last crossing, but check the boundary for completeness.
+    let f1 = i as f64 / n1 as f64;
+    let f2 = j as f64 / n2 as f64;
+    d = d.max((f1 - f2).abs());
+
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n1,
+        n2,
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    if lambda < 1.0 {
+        // The direct alternating series converges impractically slowly
+        // for small lambda; use the Jacobi-theta dual form
+        // Q = 1 − (√(2π)/λ) Σ exp(−(2k−1)² π² / (8λ²)), which converges
+        // in a couple of terms there.
+        let mut cdf = 0.0;
+        for k in 1..=20 {
+            let m = (2 * k - 1) as f64;
+            let term =
+                (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
+            cdf += term;
+            if term < 1e-16 {
+                break;
+            }
+        }
+        cdf *= (2.0 * std::f64::consts::PI).sqrt() / lambda;
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, LogNormal};
+    use crate::seeded_rng;
+    use rand::distr::Distribution;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+        assert!(!r.significant(0.01));
+    }
+
+    #[test]
+    fn disjoint_samples_maximally_different() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-10);
+        assert!(r.significant(0.01));
+    }
+
+    #[test]
+    fn same_distribution_usually_accepted() {
+        let mut rng = seeded_rng(100);
+        let d = Exponential::new(1.0).unwrap();
+        let a: Vec<f64> = (0..800).map(|_| d.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..800).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(!r.significant(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn different_distributions_detected() {
+        let mut rng = seeded_rng(101);
+        let d1 = Exponential::new(1.0).unwrap();
+        let d2 = LogNormal::new(1.0, 1.0).unwrap();
+        let a: Vec<f64> = (0..800).map(|_| d1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..800).map(|_| d2.sample(&mut rng)).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.significant(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert_eq!(kolmogorov_q(-1.0), 1.0);
+        assert!(kolmogorov_q(10.0) < 1e-12);
+        // Known reference points: Q(1.0) ≈ 0.26999967 (both series must
+        // agree at the branch point), Q(0.5) ≈ 0.9639.
+        assert!((kolmogorov_q(1.0) - 0.26999967).abs() < 1e-6);
+        assert!((kolmogorov_q(0.5) - 0.9639).abs() < 1e-4);
+        // Tiny lambda: the dual series must saturate at 1, not truncate.
+        assert!(kolmogorov_q(0.01) > 1.0 - 1e-12);
+        // Continuity across the series switch at lambda = 1
+        // (|dQ/dlambda| is ~1.07 there, so allow the true slope).
+        assert!((kolmogorov_q(0.999_999) - kolmogorov_q(1.000_001)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // a: {1,2,3}, b: {2,3,4}. Max ECDF gap is 1/3.
+        let r = ks_two_sample(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]).unwrap();
+        assert!((r.statistic - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbalanced_sizes() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b = vec![0.5];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic <= 1.0 && r.statistic >= 0.0);
+        assert_eq!(r.n1, 1000);
+        assert_eq!(r.n2, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! `memes` — command-line front end for the origins-of-memes pipeline.
+//!
+//! ```text
+//! memes simulate --scale small --seed 7 --out dataset.json
+//! memes run      --scale small --seed 7 --out run.json [--train-filter]
+//! memes influence --scale small --seed 7
+//! memes graph    --scale small --seed 7 --out fig7.dot
+//! ```
+//!
+//! Every subcommand regenerates the (deterministic) dataset from its
+//! seed, so no intermediate file is ever required; `--out` writes the
+//! artifact for external tooling.
+
+use origins_of_memes::core::graph::{ClusterGraph, GraphConfig};
+use origins_of_memes::core::metric::ClusterDistance;
+use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
+use origins_of_memes::hawkes::InfluenceEstimator;
+use origins_of_memes::simweb::{Community, SimConfig, SimScale};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: SimScale,
+    seed: u64,
+    out: Option<String>,
+    train_filter: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let command = argv.get(1).cloned().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        scale: SimScale::Small,
+        seed: 1,
+        out: None,
+        train_filter: false,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                args.scale = match argv.get(i).map(String::as_str) {
+                    Some("tiny") => SimScale::Tiny,
+                    Some("small") => SimScale::Small,
+                    Some("default") => SimScale::Default,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--out" => {
+                i += 1;
+                args.out = Some(argv.get(i).cloned().ok_or("--out needs a path")?);
+            }
+            "--train-filter" => args.train_filter = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: memes <simulate|run|influence|graph> \
+     [--scale tiny|small|default] [--seed N] [--out PATH] [--train-filter]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            if e != usage() {
+                eprintln!("{}", usage());
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if !matches!(
+        args.command.as_str(),
+        "simulate" | "run" | "influence" | "graph"
+    ) {
+        eprintln!("unknown command {}", args.command);
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let dataset = SimConfig::new(args.scale, args.seed).generate();
+    eprintln!(
+        "dataset: {} image posts, {} memes (scale {:?}, seed {})",
+        dataset.posts.len(),
+        dataset.universe.len(),
+        args.scale,
+        args.seed
+    );
+
+    match args.command.as_str() {
+        "simulate" => {
+            if let Some(path) = &args.out {
+                let json = serde_json::to_string(&dataset).expect("dataset serializes");
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            } else {
+                eprintln!("(pass --out to save the dataset as JSON)");
+            }
+            ExitCode::SUCCESS
+        }
+        cmd @ ("run" | "influence" | "graph") => {
+            let config = PipelineConfig {
+                screenshot_filter: if args.train_filter {
+                    ScreenshotFilterMode::Train {
+                        corpus_scale: 0.01,
+                        config: Default::default(),
+                    }
+                } else {
+                    ScreenshotFilterMode::Oracle
+                },
+                ..PipelineConfig::default()
+            };
+            let output = match Pipeline::new(config).run(&dataset) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("pipeline failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "pipeline: {} clusters ({} annotated), {} matched posts",
+                output.clustering.n_clusters(),
+                output.annotated_clusters().len(),
+                output.occurrences.iter().flatten().count()
+            );
+            match cmd {
+                "run" => {
+                    if let Some(path) = &args.out {
+                        if let Err(e) = std::fs::write(path, output.to_json()) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                }
+                "influence" => {
+                    let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+                    let influence = match output.estimate_influence(&dataset, &estimator, 0) {
+                        Ok(i) => i,
+                        Err(e) => {
+                            eprintln!("influence estimation failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let pct = influence.total.percent_of_destination();
+                    println!("percent of destination events caused by source:");
+                    print!("{:>9}", "src\\dst");
+                    for c in Community::ALL {
+                        print!("{:>9}", c.name());
+                    }
+                    println!();
+                    for (src, row) in pct.iter().enumerate() {
+                        print!("{:>9}", Community::ALL[src].name());
+                        for v in row {
+                            print!("{v:>8.1}%");
+                        }
+                        println!();
+                    }
+                    let ext = influence.total.total_external_normalized();
+                    println!("external efficiency per source:");
+                    for c in Community::ALL {
+                        println!("  {:<8} {:>7.2}%", c.name(), ext[c.index()]);
+                    }
+                }
+                "graph" => {
+                    let (descriptors, labels) = output.annotated_descriptors();
+                    let graph = ClusterGraph::build(
+                        &descriptors,
+                        &labels,
+                        &ClusterDistance::default(),
+                        &GraphConfig {
+                            kappa: 0.45,
+                            min_degree: 1,
+                        },
+                    );
+                    eprintln!(
+                        "graph: {} nodes, {} edges, {} components, purity {:.2}",
+                        graph.node_count(),
+                        graph.edge_count(),
+                        graph.n_components,
+                        graph.component_purity()
+                    );
+                    match &args.out {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(path, graph.to_dot()) {
+                                eprintln!("cannot write {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("wrote {path}");
+                        }
+                        None => println!("{}", graph.to_dot()),
+                    }
+                }
+                _ => unreachable!(),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("command validated before dataset generation"),
+    }
+}

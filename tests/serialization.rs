@@ -1,0 +1,47 @@
+//! Persistence: datasets and pipeline runs round-trip through JSON, so
+//! the expensive hashing step can be done once and analyzed many times
+//! (the paper's batch/one-time split, §3.3).
+
+use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use origins_of_memes::simweb::{Dataset, SimConfig};
+
+#[test]
+fn dataset_roundtrips_through_json() {
+    let dataset = SimConfig::tiny(5).generate();
+    let json = serde_json::to_string(&dataset).expect("dataset serializes");
+    let back: Dataset = serde_json::from_str(&json).expect("dataset deserializes");
+    assert_eq!(back.posts, dataset.posts);
+    assert_eq!(back.daily_totals, dataset.daily_totals);
+    assert_eq!(back.kym_raw, dataset.kym_raw);
+    assert_eq!(back.universe, dataset.universe);
+    // A restored dataset renders identical images.
+    let post = &dataset.posts[0];
+    assert_eq!(
+        back.render_post_image(post),
+        dataset.render_post_image(post)
+    );
+}
+
+#[test]
+fn pipeline_output_roundtrips_and_stays_analyzable() {
+    let dataset = SimConfig::tiny(5).generate();
+    let output = Pipeline::new(PipelineConfig::fast())
+        .run(&dataset)
+        .expect("pipeline runs");
+    let json = output.to_json();
+    let back = PipelineOutput::from_json(&json).expect("output deserializes");
+    assert_eq!(back.post_hashes, output.post_hashes);
+    assert_eq!(back.occurrences, output.occurrences);
+    assert_eq!(back.annotations, output.annotations);
+    assert_eq!(back.annotated_clusters(), output.annotated_clusters());
+    // Step-7 analysis works on the restored run.
+    let restored_events = back.all_cluster_events(&dataset);
+    let original_events = output.all_cluster_events(&dataset);
+    assert_eq!(restored_events, original_events);
+}
+
+#[test]
+fn corrupt_json_is_rejected() {
+    assert!(PipelineOutput::from_json("{\"not\": \"a run\"}").is_err());
+    assert!(PipelineOutput::from_json("").is_err());
+}
