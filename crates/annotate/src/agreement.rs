@@ -54,7 +54,11 @@ pub fn simulate_panel(
     for &t in truth {
         let mut votes = [0usize; 2];
         for _ in 0..n_raters {
-            let observed = if rng.random::<f64>() < error_rate { !t } else { t };
+            let observed = if rng.random::<f64>() < error_rate {
+                !t
+            } else {
+                t
+            };
             votes[usize::from(observed)] += 1;
         }
         let majority_says_correct = votes[1] > votes[0];
@@ -106,7 +110,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         let truth: Vec<bool> = (0..500).map(|i| i % 2 == 0).collect();
         let report = simulate_panel(&truth, 3, 0.5, &mut rng).unwrap();
-        assert!(report.fleiss_kappa.abs() < 0.1, "kappa {}", report.fleiss_kappa);
+        assert!(
+            report.fleiss_kappa.abs() < 0.1,
+            "kappa {}",
+            report.fleiss_kappa
+        );
     }
 
     #[test]

@@ -72,11 +72,7 @@ impl ClusterAnnotation {
 /// Implementation: one multi-index over all gallery hashes (tagged with
 /// their entry), one radius query per medoid — the same two-sided
 /// speedup the paper got from its GPU pairwise engine.
-pub fn annotate_clusters(
-    medoids: &[PHash],
-    site: &KymSite,
-    theta: u32,
-) -> Vec<ClusterAnnotation> {
+pub fn annotate_clusters(medoids: &[PHash], site: &KymSite, theta: u32) -> Vec<ClusterAnnotation> {
     // Flatten galleries with back-pointers.
     let mut gallery_hashes: Vec<PHash> = Vec::new();
     let mut owner: Vec<usize> = Vec::new();
@@ -171,11 +167,7 @@ mod tests {
             entry(
                 0,
                 "Smug Frog",
-                vec![
-                    base,
-                    base.with_flipped_bits(&[1, 2]),
-                    far,
-                ],
+                vec![base, base.with_flipped_bits(&[1, 2]), far],
             ),
             // Entry 1: one of one image near `base` (higher proportion).
             entry(1, "Pepe", vec![base.with_flipped_bits(&[3])]),
@@ -236,11 +228,7 @@ mod tests {
     fn clusters_per_entry_counts_all_matches() {
         let s = site();
         let base = PHash(0xAAAA_BBBB_CCCC_DDDD);
-        let anns = annotate_clusters(
-            &[base, base.with_flipped_bits(&[4])],
-            &s,
-            ANNOTATION_THETA,
-        );
+        let anns = annotate_clusters(&[base, base.with_flipped_bits(&[4])], &s, ANNOTATION_THETA);
         let cpe = clusters_per_entry(&anns, s.len());
         assert_eq!(cpe[0], 2); // entry 0 matches both medoids
         assert_eq!(cpe[1], 2);

@@ -1,0 +1,32 @@
+//! Typed errors for the annotation substrate.
+
+use std::fmt;
+
+/// Failures in annotation-side training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotateError {
+    /// The training corpus contained no images.
+    EmptyCorpus,
+    /// CNN training produced a non-finite epoch loss (NaN learning
+    /// rate, exploding gradients…); the resulting network is unusable.
+    TrainingDiverged {
+        /// The first non-finite epoch loss observed.
+        loss: f64,
+        /// Epochs completed when divergence was detected.
+        epochs: usize,
+    },
+}
+
+impl fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCorpus => write!(f, "training corpus is empty"),
+            Self::TrainingDiverged { loss, epochs } => write!(
+                f,
+                "CNN training diverged (loss {loss} within {epochs} epochs)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}

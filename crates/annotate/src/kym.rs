@@ -172,7 +172,10 @@ impl KymSite {
 
     /// Gallery sizes (the Fig. 4b CDF sample).
     pub fn gallery_sizes(&self) -> Vec<u64> {
-        self.entries.iter().map(|e| e.gallery.len() as u64).collect()
+        self.entries
+            .iter()
+            .map(|e| e.gallery.len() as u64)
+            .collect()
     }
 }
 

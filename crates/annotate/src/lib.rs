@@ -26,11 +26,13 @@
 
 pub mod agreement;
 pub mod annotator;
+pub mod error;
 pub mod kym;
 pub mod nn;
 pub mod screenshot;
 
 pub use annotator::{annotate_clusters, ClusterAnnotation, EntryMatch, ANNOTATION_THETA};
+pub use error::AnnotateError;
 pub use kym::{KymCategory, KymEntry, KymSite};
 pub use nn::{Cnn, TrainConfig};
 pub use screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotFilter, SourcePlatform};

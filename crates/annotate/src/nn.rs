@@ -111,8 +111,8 @@ impl Param {
 /// Per-sample activation cache for backprop.
 struct Cache {
     input: Vec<f32>,
-    conv1_out: Vec<f32>,  // post-ReLU, C1 x H1 x H1
-    pool1_out: Vec<f32>,  // C1 x P1 x P1
+    conv1_out: Vec<f32>, // post-ReLU, C1 x H1 x H1
+    pool1_out: Vec<f32>, // C1 x P1 x P1
     pool1_arg: Vec<usize>,
     conv2_out: Vec<f32>, // post-ReLU, C2 x H2 x H2
     pool2_out: Vec<f32>, // C2 x P2 x P2
@@ -196,8 +196,7 @@ impl Cnn {
                         for ky in 0..K {
                             let row = ibase + (y + ky) * P1 + x;
                             for kx in 0..K {
-                                acc += self.conv2_w.w[wbase + ky * K + kx]
-                                    * pool1_out[row + kx];
+                                acc += self.conv2_w.w[wbase + ky * K + kx] * pool1_out[row + kx];
                             }
                         }
                     }
@@ -341,8 +340,7 @@ impl Cnn {
                     for ky in 0..K {
                         let row = (y + ky) * INPUT_SIZE + x;
                         for kx in 0..K {
-                            self.conv1_w.grad[wbase + ky * K + kx] +=
-                                g * cache.input[row + kx];
+                            self.conv1_w.grad[wbase + ky * K + kx] += g * cache.input[row + kx];
                         }
                     }
                 }
@@ -376,10 +374,7 @@ impl Cnn {
     ) -> Vec<f32> {
         assert!(!inputs.is_empty(), "training set must not be empty");
         assert_eq!(inputs.len(), labels.len(), "inputs/labels mismatch");
-        assert!(
-            labels.iter().all(|&l| l < CLASSES),
-            "labels must be 0 or 1"
-        );
+        assert!(labels.iter().all(|&l| l < CLASSES), "labels must be 0 or 1");
         let mut rng = seeded_rng(config.seed);
         let mut order: Vec<usize> = (0..inputs.len()).collect();
         let mut epoch_losses = Vec::with_capacity(config.epochs);

@@ -15,6 +15,7 @@
 //! stripes and flat panels — is what distinguishes real screenshots from
 //! meme imagery.
 
+use crate::error::AnnotateError;
 use crate::nn::{Cnn, TrainConfig};
 use meme_imaging::image::Image;
 use meme_imaging::synth::{TemplateGenome, VariantGenome};
@@ -119,7 +120,13 @@ pub fn render_screenshot(platform: SourcePlatform, size: usize, rng: &mut WsRng)
     }
 
     // Footer separator (like/retweet row).
-    img.fill_rect(0, size - size / 12, size, size - size / 12 + 1, text_tone + 0.3);
+    img.fill_rect(
+        0,
+        size - size / 12,
+        size,
+        size - size / 12 + 1,
+        text_tone + 0.3,
+    );
 
     // Mild sensor noise so the classifier cannot key on exact constants.
     for p in img.data_mut() {
@@ -302,20 +309,56 @@ pub struct ScreenshotFilter {
 impl ScreenshotFilter {
     /// Train a filter on a generated corpus. Returns the filter and its
     /// held-out test metrics (the Fig. 19 / Appendix C numbers).
+    ///
+    /// # Panics
+    /// Panics when training diverges; use
+    /// [`ScreenshotFilter::try_train`] to handle that case.
     pub fn train(corpus: &ScreenshotCorpus, config: &TrainConfig) -> (Self, ClassifierMetrics) {
+        Self::try_train(corpus, config).expect("CNN training diverged")
+    }
+
+    /// Train a filter, reporting divergence as a typed error instead of
+    /// handing back a network full of NaNs: an empty corpus or a
+    /// non-finite epoch loss (NaN learning rate, exploding gradients)
+    /// is an [`AnnotateError`].
+    pub fn try_train(
+        corpus: &ScreenshotCorpus,
+        config: &TrainConfig,
+    ) -> Result<(Self, ClassifierMetrics), AnnotateError> {
+        if corpus.is_empty() {
+            return Err(AnnotateError::EmptyCorpus);
+        }
         let (train_idx, test_idx) = corpus.split(config.seed);
-        let train_in: Vec<Vec<f32>> = train_idx.iter().map(|&i| corpus.inputs[i].clone()).collect();
+        let train_in: Vec<Vec<f32>> = train_idx
+            .iter()
+            .map(|&i| corpus.inputs[i].clone())
+            .collect();
         let train_lab: Vec<usize> = train_idx.iter().map(|&i| corpus.labels[i]).collect();
         let mut cnn = Cnn::new(config.seed);
-        cnn.train(&train_in, &train_lab, config);
+        let losses = cnn.train(&train_in, &train_lab, config);
+        if let Some(&bad) = losses.iter().find(|l| !l.is_finite()) {
+            return Err(AnnotateError::TrainingDiverged {
+                loss: bad as f64,
+                epochs: losses.len(),
+            });
+        }
 
         let scores: Vec<f64> = test_idx
             .iter()
             .map(|&i| cnn.predict_proba(&corpus.inputs[i]) as f64)
             .collect();
+        // NaN weights can slip past the loss check (the cross-entropy
+        // clamp turns NaN probabilities into a finite floor), so also
+        // test what the network actually predicts.
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(AnnotateError::TrainingDiverged {
+                loss: f64::NAN,
+                epochs: losses.len(),
+            });
+        }
         let labels: Vec<usize> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
         let metrics = ClassifierMetrics::from_scores(&scores, &labels);
-        (Self { cnn }, metrics)
+        Ok((Self { cnn }, metrics))
     }
 
     /// Wrap an already-trained network.
@@ -435,5 +478,36 @@ mod tests {
         let shot = render_screenshot(SourcePlatform::Reddit, 32, &mut rng);
         let meme = TemplateGenome::new(777).render(32);
         assert!(filter.screenshot_proba(&shot) > filter.screenshot_proba(&meme));
+    }
+
+    #[test]
+    fn try_train_reports_divergence() {
+        let corpus = ScreenshotCorpus::generate(0.004, 3);
+        let cfg = TrainConfig {
+            epochs: 1,
+            learning_rate: f32::NAN,
+            ..TrainConfig::default()
+        };
+        match ScreenshotFilter::try_train(&corpus, &cfg) {
+            Err(AnnotateError::TrainingDiverged { loss, .. }) => {
+                assert!(!loss.is_finite())
+            }
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("NaN learning rate should diverge"),
+        }
+    }
+
+    #[test]
+    fn try_train_rejects_empty_corpus() {
+        let corpus = ScreenshotCorpus {
+            inputs: Vec::new(),
+            labels: Vec::new(),
+            platform_counts: Vec::new(),
+            other_count: 0,
+        };
+        assert_eq!(
+            ScreenshotFilter::try_train(&corpus, &TrainConfig::default()).err(),
+            Some(AnnotateError::EmptyCorpus)
+        );
     }
 }

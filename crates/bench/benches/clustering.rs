@@ -33,13 +33,7 @@ fn bench_dbscan(c: &mut Criterion) {
         let hashes = clustered_hashes(n, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let index = MihIndex::new(hashes.clone(), 8);
-            b.iter(|| {
-                black_box(dbscan_with_index(
-                    &index,
-                    DbscanParams::default(),
-                    0,
-                ))
-            })
+            b.iter(|| black_box(dbscan_with_index(&index, DbscanParams::default(), 0)))
         });
     }
     group.finish();

@@ -62,9 +62,7 @@ pub fn ablation_hashers(r: &Repro) {
             &cells
         )
     );
-    println!(
-        "(the paper's choice wins when purity stays high at comparable recall)"
-    );
+    println!("(the paper's choice wins when purity stays high at comparable recall)");
 }
 
 /// Ablation: the custom metric's weight split (Eq. 1). Compares the
@@ -205,7 +203,8 @@ pub fn ablation_beta(r: &Repro) {
             .expect("fit succeeds");
             let bins = 8;
             let max_lag = 2.0;
-            let hist = meme_hawkes::impulse_histogram(&fit.model, stream, bins, max_lag);
+            let hist = meme_hawkes::impulse_histogram(&fit.model, stream, bins, max_lag)
+                .expect("valid binning");
             let width = max_lag / bins as f64;
             let mut cells = Vec::new();
             for (b, h) in hist.iter().enumerate() {
@@ -242,17 +241,9 @@ pub fn provenance(r: &Repro) {
     }
     let cells: Vec<Vec<String>> = Community::ALL
         .iter()
-        .map(|c| {
-            vec![
-                c.name().to_string(),
-                counts[c.index()].to_string(),
-            ]
-        })
+        .map(|c| vec![c.name().to_string(), counts[c.index()].to_string()])
         .collect();
-    println!(
-        "{}",
-        ascii_table(&["Estimated origin", "Clusters"], &cells)
-    );
+    println!("{}", ascii_table(&["Estimated origin", "Clusters"], &cells));
 
     section("Extension (§7 future work): which memes disseminate?");
     let estimator = InfluenceEstimator::new(Community::COUNT, FIT_BETA);
@@ -291,7 +282,13 @@ pub fn provenance(r: &Repro) {
     println!(
         "{}",
         ascii_table(
-            &["Group", "Clusters", "Events", "Offspring/event", "External share"],
+            &[
+                "Group",
+                "Clusters",
+                "Events",
+                "Offspring/event",
+                "External share"
+            ],
             &cells
         )
     );

@@ -46,13 +46,10 @@ impl Options {
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("bad --seed; using 1");
-                            1
-                        });
+                    opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("bad --seed; using 1");
+                        1
+                    });
                 }
                 "--train-filter" => opts.train_filter = true,
                 "--threads" => {

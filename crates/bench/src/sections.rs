@@ -50,7 +50,13 @@ pub fn table1(r: &Repro) {
     println!(
         "{}",
         ascii_table(
-            &["Platform", "#Posts", "#Posts w/ Images", "#Images", "#Unique pHashes"],
+            &[
+                "Platform",
+                "#Posts",
+                "#Posts w/ Images",
+                "#Images",
+                "#Unique pHashes"
+            ],
             &cells
         )
     );
@@ -95,7 +101,13 @@ pub fn table2(r: &Repro, runs: &[CommunityClustering]) {
     println!(
         "{}",
         ascii_table(
-            &["Platform", "#Images", "Noise", "#Clusters", "#Clusters w/ KYM (%)"],
+            &[
+                "Platform",
+                "#Images",
+                "Noise",
+                "#Clusters",
+                "#Clusters w/ KYM (%)"
+            ],
             &cells
         )
     );
@@ -178,20 +190,13 @@ fn print_top_posts(r: &Repro, category: Option<KymCategory>, n: usize) {
         Community::Gab,
         Community::Twitter,
     ] {
-        let rows =
-            analysis::top_entries_by_posts(&r.dataset, &r.output, community, category, n);
+        let rows = analysis::top_entries_by_posts(&r.dataset, &r.output, community, category, n);
         println!("--- {} ---", community.name());
         let cells: Vec<Vec<String>> = rows
             .iter()
             .map(|row| {
                 let mut marks = String::new();
-                if let Some(e) = r
-                    .output
-                    .site
-                    .entries
-                    .iter()
-                    .find(|e| e.name == row.entry)
-                {
+                if let Some(e) = r.output.site.entries.iter().find(|e| e.name == row.entry) {
                     if e.is_racist() {
                         marks.push_str(" (R)");
                     }
@@ -265,13 +270,7 @@ pub fn table7(r: &Repro) {
 /// (Fig. 17).
 pub fn table8_fig17(r: &Repro) {
     section("Table 8 (Appendix A): DBSCAN distance sweep");
-    let rows = analysis::eps_sweep(
-        &r.dataset,
-        &r.output,
-        &[2, 4, 6, 8, 10],
-        5,
-        r.opts.threads,
-    );
+    let rows = analysis::eps_sweep(&r.dataset, &r.output, &[2, 4, 6, 8, 10], 5, r.opts.threads);
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -346,7 +345,10 @@ pub fn table9_fig19(seed: u64) {
     println!("trained in {:.1?} on {} images", t0.elapsed(), corpus.len());
     println!("AUC:       {:.3}  [paper: 0.96]", metrics.auc);
     println!("accuracy:  {:.1}% [paper: 91.3%]", 100.0 * metrics.accuracy);
-    println!("precision: {:.1}% [paper: 94.3%]", 100.0 * metrics.precision);
+    println!(
+        "precision: {:.1}% [paper: 94.3%]",
+        100.0 * metrics.precision
+    );
     println!("recall:    {:.1}% [paper: 93.5%]", 100.0 * metrics.recall);
     println!("F1:        {:.1}% [paper: 93.9%]", 100.0 * metrics.f1);
     println!("ROC curve (FPR, TPR):");
@@ -496,8 +498,7 @@ pub fn fig6(r: &Repro) {
     };
     let (descriptors, labels) = descriptors_for(r, frog);
     println!("frog clusters: {}", descriptors.len());
-    let Some(phylo) = Phylogeny::build(&descriptors, labels, &ClusterDistance::default())
-    else {
+    let Some(phylo) = Phylogeny::build(&descriptors, labels, &ClusterDistance::default()) else {
         println!("(not enough frog clusters at this scale)");
         return;
     };
@@ -533,12 +534,7 @@ pub fn fig7(r: &Repro) {
         // filter to our cluster count.
         min_degree: if descriptors.len() > 2000 { 10 } else { 2 },
     };
-    let graph = ClusterGraph::build(
-        &descriptors,
-        &labels,
-        &ClusterDistance::default(),
-        &config,
-    );
+    let graph = ClusterGraph::build(&descriptors, &labels, &ClusterDistance::default(), &config);
     println!(
         "nodes: {} / {}, edges: {}, components: {}",
         graph.node_count(),
@@ -599,7 +595,10 @@ pub fn fig8(r: &Repro) {
 /// Fig. 9: CDFs of scores on Reddit and Gab.
 pub fn fig9(r: &Repro) {
     for platform in [Community::Reddit, Community::Gab] {
-        section(&format!("Fig 9: score distributions on {}", platform.name()));
+        section(&format!(
+            "Fig 9: score distributions on {}",
+            platform.name()
+        ));
         let s = analysis::fig9_scores(&r.dataset, &r.output, platform);
         let mut cells = Vec::new();
         for (label, sample) in [
@@ -724,8 +723,14 @@ pub fn fig11_12(r: &Repro) {
     let (full, truth) = influence(r);
     let fitted = &full.total;
     section("Fig 11: % of destination events caused by source");
-    print_matrix("fitted (Hawkes + root-cause attribution)", &fitted.percent_of_destination());
-    print_matrix("ground truth (simulator lineage)", &truth.percent_of_destination());
+    print_matrix(
+        "fitted (Hawkes + root-cause attribution)",
+        &fitted.percent_of_destination(),
+    );
+    print_matrix(
+        "ground truth (simulator lineage)",
+        &truth.percent_of_destination(),
+    );
 
     section("Fig 12: influence normalized by source events (efficiency)");
     print_matrix("fitted", &fitted.normalized_by_source());
@@ -739,10 +744,7 @@ pub fn fig11_12(r: &Repro) {
             format!("{:.2}%", ext[i]),
         ]);
     }
-    println!(
-        "{}",
-        ascii_table(&["Source", "Total", "Total Ext"], &cells)
-    );
+    println!("{}", ascii_table(&["Source", "Total", "Total Ext"], &cells));
     let ext_truth = truth.total_external_normalized();
     println!(
         "ground-truth external efficiency: {}",
@@ -756,17 +758,13 @@ pub fn fig11_12(r: &Repro) {
 
     // Cluster-bootstrap 90% CIs on the Fig. 11 cells (uncertainty the
     // paper does not report).
-    if let Some(ci) = meme_hawkes::bootstrap_ci(&full.per_cluster, 300, 0.9, r.opts.seed)
-    {
+    if let Some(ci) = meme_hawkes::bootstrap_ci(&full.per_cluster, 300, 0.9, r.opts.seed) {
         section("Fig 11 supplement: 90% cluster-bootstrap CIs (percent of destination)");
         let mut cells = Vec::new();
         for src in 0..Community::COUNT {
             let mut line = vec![Community::ALL[src].name().to_string()];
             for dst in 0..Community::COUNT {
-                line.push(format!(
-                    "[{:.1}, {:.1}]",
-                    ci.lo[src][dst], ci.hi[src][dst]
-                ));
+                line.push(format!("[{:.1}, {:.1}]", ci.lo[src][dst], ci.hi[src][dst]));
             }
             cells.push(line);
         }

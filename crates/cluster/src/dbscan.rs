@@ -11,6 +11,41 @@ use meme_index::{all_neighbors, HammingIndex};
 use meme_phash::PHash;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Invalid input to a clustering routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `min_pts == 0` — every point would be a core point of nothing.
+    InvalidMinPts,
+    /// An adjacency list referenced an item outside the point set.
+    InvalidNeighbor {
+        /// The item whose list is broken.
+        item: usize,
+        /// The out-of-range neighbour index.
+        neighbor: usize,
+        /// Number of items in the point set.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidMinPts => write!(f, "min_pts must be at least 1"),
+            Self::InvalidNeighbor {
+                item,
+                neighbor,
+                len,
+            } => write!(
+                f,
+                "item {item} lists neighbour {neighbor}, but there are only {len} items"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// DBSCAN parameters. The paper's production setting is
 /// `eps = 8, min_pts = 5`.
@@ -120,10 +155,32 @@ impl Clustering {
 /// reaches them (the standard tie-break).
 ///
 /// # Panics
-/// Panics when `min_pts == 0`.
+/// Panics when `min_pts == 0`; [`try_dbscan`] returns a typed error
+/// instead.
 pub fn dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Clustering {
-    assert!(min_pts > 0, "min_pts must be at least 1");
+    match try_dbscan(neighbors, min_pts) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible DBSCAN: validates `min_pts` and the adjacency lists before
+/// propagating labels, so malformed input surfaces as a
+/// [`ClusterError`] rather than a panic mid-flood-fill.
+pub fn try_dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Result<Clustering, ClusterError> {
+    if min_pts == 0 {
+        return Err(ClusterError::InvalidMinPts);
+    }
     let n = neighbors.len();
+    for (item, nb) in neighbors.iter().enumerate() {
+        if let Some(&neighbor) = nb.iter().find(|&&j| j >= n) {
+            return Err(ClusterError::InvalidNeighbor {
+                item,
+                neighbor,
+                len: n,
+            });
+        }
+    }
     // +1: the neighbourhood includes the point itself in DBSCAN's
     // definition; our adjacency lists exclude it.
     let is_core: Vec<bool> = neighbors.iter().map(|nb| nb.len() + 1 >= min_pts).collect();
@@ -154,7 +211,7 @@ pub fn dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Clustering {
             }
         }
     }
-    Clustering { labels, n_clusters }
+    Ok(Clustering { labels, n_clusters })
 }
 
 /// Convenience: compute neighbourhoods from a Hamming index and run
@@ -289,7 +346,9 @@ mod tests {
     #[test]
     fn deterministic_labeling() {
         let mut rng = seeded_rng(9);
-        let hashes: Vec<PHash> = (0..100).map(|_| PHash(rng.random::<u64>() & 0xFFFF)).collect();
+        let hashes: Vec<PHash> = (0..100)
+            .map(|_| PHash(rng.random::<u64>() & 0xFFFF))
+            .collect();
         let idx = BruteForceIndex::new(hashes);
         let a = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 1);
         let b = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 4);
@@ -300,5 +359,22 @@ mod tests {
     #[should_panic(expected = "min_pts")]
     fn zero_min_pts_panics() {
         let _ = dbscan(&[], 0);
+    }
+
+    #[test]
+    fn try_dbscan_reports_typed_errors() {
+        assert_eq!(try_dbscan(&[], 0), Err(ClusterError::InvalidMinPts));
+        let broken = vec![vec![1], vec![5]];
+        assert_eq!(
+            try_dbscan(&broken, 1),
+            Err(ClusterError::InvalidNeighbor {
+                item: 1,
+                neighbor: 5,
+                len: 2
+            })
+        );
+        // Valid input matches the panicking entry point.
+        let adj = adjacency(4, &[(0, 1), (1, 2)]);
+        assert_eq!(try_dbscan(&adj, 2).unwrap(), dbscan(&adj, 2));
     }
 }

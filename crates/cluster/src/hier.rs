@@ -146,7 +146,6 @@ impl Dendrogram {
         // Map node id -> representative leaf.
         let mut rep: Vec<usize> = (0..self.n_leaves).collect();
         for m in self.merges.iter() {
-            
             let ra = rep[m.a];
             let rb = rep[m.b];
             rep.push(ra);

@@ -45,21 +45,14 @@ pub fn cluster_false_positive_fractions<T: Eq + Hash + Clone>(
 /// Overall majority purity: the fraction of clustered (non-noise) items
 /// matching their cluster's majority truth. The paper's distance-8 audit
 /// corresponds to a purity of ~0.994.
-pub fn majority_purity<T: Eq + Hash + Clone>(
-    clustering: &Clustering,
-    truth: &[Option<T>],
-) -> f64 {
+pub fn majority_purity<T: Eq + Hash + Clone>(clustering: &Clustering, truth: &[Option<T>]) -> f64 {
     let fps = cluster_false_positive_fractions(clustering, truth);
     let sizes = clustering.sizes();
     let clustered: usize = sizes.iter().sum();
     if clustered == 0 {
         return 1.0;
     }
-    let fp_items: f64 = fps
-        .iter()
-        .zip(&sizes)
-        .map(|(f, s)| f * *s as f64)
-        .sum();
+    let fp_items: f64 = fps.iter().zip(&sizes).map(|(f, s)| f * *s as f64).sum();
     1.0 - fp_items / clustered as f64
 }
 
@@ -108,15 +101,8 @@ mod tests {
     #[test]
     fn pure_clusters_have_zero_fp() {
         let c = two_cluster_fixture();
-        let truth: Vec<Option<u32>> = vec![
-            Some(1),
-            Some(1),
-            Some(1),
-            Some(2),
-            Some(2),
-            Some(2),
-            None,
-        ];
+        let truth: Vec<Option<u32>> =
+            vec![Some(1), Some(1), Some(1), Some(2), Some(2), Some(2), None];
         let fps = cluster_false_positive_fractions(&c, &truth);
         assert_eq!(fps, vec![0.0, 0.0]);
         assert_eq!(majority_purity(&c, &truth), 1.0);
@@ -127,15 +113,8 @@ mod tests {
     fn contaminated_cluster_measured() {
         let c = two_cluster_fixture();
         // One member of cluster 0 actually belongs to meme 2.
-        let truth: Vec<Option<u32>> = vec![
-            Some(1),
-            Some(1),
-            Some(2),
-            Some(2),
-            Some(2),
-            Some(2),
-            None,
-        ];
+        let truth: Vec<Option<u32>> =
+            vec![Some(1), Some(1), Some(2), Some(2), Some(2), Some(2), None];
         let fps = cluster_false_positive_fractions(&c, &truth);
         assert!((fps[0] - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(fps[1], 0.0);
@@ -146,8 +125,7 @@ mod tests {
     #[test]
     fn oneoff_images_count_as_false_positives() {
         let c = two_cluster_fixture();
-        let truth: Vec<Option<u32>> =
-            vec![Some(1), Some(1), None, Some(2), Some(2), Some(2), None];
+        let truth: Vec<Option<u32>> = vec![Some(1), Some(1), None, Some(2), Some(2), Some(2), None];
         let fps = cluster_false_positive_fractions(&c, &truth);
         assert!((fps[0] - 1.0 / 3.0).abs() < 1e-12);
     }

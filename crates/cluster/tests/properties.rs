@@ -11,20 +11,18 @@ use proptest::prelude::*;
 /// Random symmetric adjacency (self-exclusive) on `n` nodes.
 fn adjacency_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
     (2usize..40).prop_flat_map(|n| {
-        prop::collection::vec(prop::collection::vec(0usize..n, 0..5), n).prop_map(
-            move |raw| {
-                let mut adj = vec![std::collections::BTreeSet::new(); n];
-                for (i, targets) in raw.iter().enumerate() {
-                    for &j in targets {
-                        if i != j {
-                            adj[i].insert(j);
-                            adj[j].insert(i);
-                        }
+        prop::collection::vec(prop::collection::vec(0usize..n, 0..5), n).prop_map(move |raw| {
+            let mut adj = vec![std::collections::BTreeSet::new(); n];
+            for (i, targets) in raw.iter().enumerate() {
+                for &j in targets {
+                    if i != j {
+                        adj[i].insert(j);
+                        adj[j].insert(i);
                     }
                 }
-                adj.into_iter().map(|s| s.into_iter().collect()).collect()
-            },
-        )
+            }
+            adj.into_iter().map(|s| s.into_iter().collect()).collect()
+        })
     })
 }
 

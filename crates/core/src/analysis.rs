@@ -139,18 +139,17 @@ pub fn cluster_community(
     theta: u32,
     threads: usize,
 ) -> CommunityClustering {
-    let post_indices: Vec<usize> = dataset
-        .posts_of(community)
-        .map(|p| p.id)
+    let post_indices: Vec<usize> = dataset.posts_of(community).map(|p| p.id).collect();
+    let hashes: Vec<PHash> = post_indices
+        .iter()
+        .map(|&i| output.post_hashes[i])
         .collect();
-    let hashes: Vec<PHash> = post_indices.iter().map(|&i| output.post_hashes[i]).collect();
     let index = MihIndex::new(hashes.clone(), params.eps);
     let neighbors = all_neighbors(&index, params.eps, threads);
     let clustering = dbscan(&neighbors, params.min_pts);
     let medoid_positions = clustering.medoids(&hashes);
     let medoid_hashes: Vec<PHash> = medoid_positions.iter().map(|&p| hashes[p]).collect();
-    let medoid_posts: Vec<usize> =
-        medoid_positions.iter().map(|&p| post_indices[p]).collect();
+    let medoid_posts: Vec<usize> = medoid_positions.iter().map(|&p| post_indices[p]).collect();
     let annotations = annotate_clusters(&medoid_hashes, &output.site, theta);
     CommunityClustering {
         community,
@@ -187,8 +186,7 @@ pub fn table2(community_runs: &[CommunityClustering]) -> Vec<Table2Row> {
         .iter()
         .map(|run| {
             let clusters = run.clustering.n_clusters() as u64;
-            let annotated =
-                run.annotations.iter().filter(|a| a.is_annotated()).count() as u64;
+            let annotated = run.annotations.iter().filter(|a| a.is_annotated()).count() as u64;
             Table2Row {
                 platform: run.community.name().to_string(),
                 images: run.post_indices.len() as u64,
@@ -279,9 +277,7 @@ pub fn top_entries_by_posts(
     let total = total.max(1) as f64;
     let mut rows: Vec<TopEntryRow> = counts
         .into_iter()
-        .filter(|(entry_id, _)| {
-            category.is_none_or(|c| output.site.entry(*entry_id).category == c)
-        })
+        .filter(|(entry_id, _)| category.is_none_or(|c| output.site.entry(*entry_id).category == c))
         .map(|(entry_id, count)| {
             let e = output.site.entry(entry_id);
             TopEntryRow {
@@ -406,7 +402,13 @@ pub fn fig8_series(
                 .counts()
                 .iter()
                 .zip(&totals)
-                .map(|(&m, &t)| if t == 0 { 0.0 } else { 100.0 * m as f64 / t as f64 })
+                .map(|(&m, &t)| {
+                    if t == 0 {
+                        0.0
+                    } else {
+                        100.0 * m as f64 / t as f64
+                    }
+                })
                 .collect();
             (label.to_string(), percents)
         })
@@ -589,20 +591,33 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let pol = &rows[0];
         let gab = rows.iter().find(|r| r.platform == "Gab").unwrap();
-        assert!(pol.clusters > gab.clusters, "pol {} gab {}", pol.clusters, gab.clusters);
+        assert!(
+            pol.clusters > gab.clusters,
+            "pol {} gab {}",
+            pol.clusters,
+            gab.clusters
+        );
         for r in &rows {
-            assert!(r.noise_pct > 20.0 && r.noise_pct < 95.0, "{}: {}", r.platform, r.noise_pct);
+            assert!(
+                r.noise_pct > 20.0 && r.noise_pct < 95.0,
+                "{}: {}",
+                r.platform,
+                r.noise_pct
+            );
             assert!(r.annotated <= r.clusters);
             assert!(r.annotated > 0, "{} has no annotated clusters", r.platform);
-            assert!(r.annotated_pct < 80.0, "{} coverage suspiciously high", r.platform);
+            assert!(
+                r.annotated_pct < 80.0,
+                "{} coverage suspiciously high",
+                r.platform
+            );
         }
     }
 
     #[test]
     fn top_entries_tables_are_ranked() {
         let (dataset, out) = fixture();
-        let run =
-            cluster_community(dataset, out, Community::Pol, DbscanParams::default(), 8, 2);
+        let run = cluster_community(dataset, out, Community::Pol, DbscanParams::default(), 8, 2);
         let t3 = top_entries_by_clusters(&run, out, 10);
         assert!(!t3.is_empty());
         for w in t3.windows(2) {
@@ -613,13 +628,7 @@ mod tests {
         for w in t4.windows(2) {
             assert!(w[0].count >= w[1].count);
         }
-        let t5 = top_entries_by_posts(
-            dataset,
-            out,
-            Community::Pol,
-            Some(KymCategory::Person),
-            10,
-        );
+        let t5 = top_entries_by_posts(dataset, out, Community::Pol, Some(KymCategory::Person), 10);
         for r in &t5 {
             assert_eq!(r.category, "People");
         }
@@ -689,11 +698,7 @@ mod tests {
         assert!(epc.iter().all(|&c| c >= 1));
         assert_eq!(cpe.len(), out.site.len());
         // Total matches must agree between the two views.
-        let from_clusters: u64 = out
-            .annotations
-            .iter()
-            .map(|a| a.matches.len() as u64)
-            .sum();
+        let from_clusters: u64 = out.annotations.iter().map(|a| a.matches.len() as u64).sum();
         let from_entries: u64 = cpe.iter().sum();
         assert_eq!(from_clusters, from_entries);
     }

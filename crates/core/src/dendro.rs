@@ -74,10 +74,7 @@ impl Phylogeny {
             let (sb, hb) = repr[m.b].clone();
             let branch_a = (m.height - ha).max(0.0);
             let branch_b = (m.height - hb).max(0.0);
-            repr.push((
-                format!("({sa}:{branch_a:.4},{sb}:{branch_b:.4})"),
-                m.height,
-            ));
+            repr.push((format!("({sa}:{branch_a:.4},{sb}:{branch_b:.4})"), m.height));
         }
         let root = repr.last().expect("at least one node").0.clone();
         let _ = n;
@@ -120,10 +117,10 @@ mod tests {
     #[test]
     fn needs_at_least_two_leaves() {
         let (ds, labels) = frog_fixture();
-        assert!(Phylogeny::build(&ds[..1], labels[..1].to_vec(), &ClusterDistance::default())
-            .is_none());
-        assert!(Phylogeny::build(&ds, labels[..2].to_vec(), &ClusterDistance::default())
-            .is_none());
+        assert!(
+            Phylogeny::build(&ds[..1], labels[..1].to_vec(), &ClusterDistance::default()).is_none()
+        );
+        assert!(Phylogeny::build(&ds, labels[..2].to_vec(), &ClusterDistance::default()).is_none());
     }
 
     #[test]

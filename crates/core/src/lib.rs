@@ -28,9 +28,14 @@ pub mod metric;
 pub mod pipeline;
 pub mod provenance;
 pub mod report;
+pub mod runner;
 
 pub use graph::{ClusterGraph, GraphConfig};
 pub use metric::{ClusterDescriptor, ClusterDistance, MetricWeights};
 pub use pipeline::{
-    Pipeline, PipelineConfig, PipelineError, PipelineOutput, ScreenshotFilterMode,
+    Degradation, Pipeline, PipelineConfig, PipelineError, PipelineOutput, ScreenshotFilterMode,
+    StageError,
+};
+pub use runner::{
+    dataset_fingerprint, Checkpoint, PipelineRunner, RunnerOutcome, StageId, StageState,
 };

@@ -94,11 +94,7 @@ impl ClusterDescriptor {
     /// Build from a Step-5 annotation. Uses **all** matched entries, not
     /// only the representative one ("we use all the annotations for each
     /// category and not only the representative one", §2.3).
-    pub fn from_annotation(
-        medoid: PHash,
-        annotation: &ClusterAnnotation,
-        site: &KymSite,
-    ) -> Self {
+    pub fn from_annotation(medoid: PHash, annotation: &ClusterAnnotation, site: &KymSite) -> Self {
         let mut memes = HashSet::new();
         let mut people = HashSet::new();
         let mut cultures = HashSet::new();
@@ -342,10 +338,7 @@ mod tests {
         let c = m.condensed_matrix(&ds);
         assert_eq!(c.len(), 6);
         use meme_cluster::hier::condensed_index;
-        assert_eq!(
-            c[condensed_index(4, 1, 3)],
-            m.distance(&ds[1], &ds[3])
-        );
+        assert_eq!(c[condensed_index(4, 1, 3)], m.distance(&ds[1], &ds[3]));
     }
 
     #[test]

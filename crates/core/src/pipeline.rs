@@ -19,17 +19,24 @@
 //!    [`PipelineOutput::estimate_influence`]).
 
 use crate::metric::ClusterDescriptor;
+use crate::runner::{PipelineRunner, RunnerOutcome, StageId, StageState};
 use meme_annotate::annotator::{annotate_clusters, ClusterAnnotation};
 use meme_annotate::kym::{KymEntry, KymSite};
 use meme_annotate::nn::TrainConfig;
 use meme_annotate::screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotFilter};
-use meme_cluster::dbscan::{dbscan, Clustering, DbscanParams};
+use meme_annotate::AnnotateError;
+use meme_cluster::dbscan::{try_dbscan, ClusterError, Clustering, DbscanParams};
 use meme_hawkes::{ClusterInfluence, Event, HawkesError, InfluenceEstimator};
-use meme_index::{all_neighbors, HammingIndex, MihIndex};
+use meme_index::{all_neighbors, FallbackIndex, HammingIndex, IndexEngine};
 use meme_phash::{ImageHasher, PHash, PerceptualHasher};
 use meme_simweb::{Community, Dataset};
+use meme_stats::dist::DistError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// How many times Step 4 retries CNN training (reseeding each attempt)
+/// before falling back to the ground-truth oracle filter.
+pub const MAX_TRAIN_ATTEMPTS: usize = 2;
 
 /// How Step 4 decides what a screenshot is.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,6 +94,36 @@ impl PipelineConfig {
     }
 }
 
+/// The substrate failure that sank a stage (the leaf of a
+/// [`PipelineError::Stage`]).
+#[derive(Debug)]
+pub enum StageError {
+    /// A Hawkes fit failed.
+    Hawkes(HawkesError),
+    /// Clustering failed.
+    Cluster(ClusterError),
+    /// Annotation-side training failed.
+    Annotate(AnnotateError),
+    /// A statistical distribution was mis-parameterised.
+    Stats(DistError),
+    /// An I/O failure (rendering corpora, spilling intermediates).
+    Io(String),
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hawkes(e) => write!(f, "{e}"),
+            Self::Cluster(e) => write!(f, "{e}"),
+            Self::Annotate(e) => write!(f, "{e}"),
+            Self::Stats(e) => write!(f, "{e}"),
+            Self::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
 /// Pipeline failure.
 #[derive(Debug)]
 pub enum PipelineError {
@@ -94,6 +131,23 @@ pub enum PipelineError {
     EmptyDataset,
     /// Influence estimation failed.
     Hawkes(HawkesError),
+    /// A stage failed; the tag records where and (when per-cluster
+    /// work was involved) which cluster sank it.
+    Stage {
+        /// The stage that failed.
+        stage: StageId,
+        /// The cluster being processed, when the failure was per-cluster.
+        cluster: Option<usize>,
+        /// The underlying substrate error.
+        source: StageError,
+    },
+    /// A checkpoint could not be read or written.
+    CheckpointIo(String),
+    /// A checkpoint file existed but could not be decoded, or claimed
+    /// stages whose outputs it did not carry.
+    CheckpointCorrupt(String),
+    /// A checkpoint belongs to a different dataset or configuration.
+    CheckpointMismatch(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -101,15 +155,100 @@ impl fmt::Display for PipelineError {
         match self {
             Self::EmptyDataset => write!(f, "dataset contains no image posts"),
             Self::Hawkes(e) => write!(f, "influence estimation failed: {e}"),
+            Self::Stage {
+                stage,
+                cluster: Some(c),
+                source,
+            } => write!(f, "stage `{stage}` failed on cluster {c}: {source}"),
+            Self::Stage {
+                stage,
+                cluster: None,
+                source,
+            } => write!(f, "stage `{stage}` failed: {source}"),
+            Self::CheckpointIo(e) => write!(f, "checkpoint I/O failed: {e}"),
+            Self::CheckpointCorrupt(e) => write!(f, "checkpoint is corrupt: {e}"),
+            Self::CheckpointMismatch(e) => write!(f, "checkpoint mismatch: {e}"),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Hawkes(e) => Some(e),
+            Self::Stage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<HawkesError> for PipelineError {
     fn from(e: HawkesError) -> Self {
         Self::Hawkes(e)
+    }
+}
+
+/// A recorded fallback: the pipeline kept going, but a component ran in
+/// a degraded mode. Degradations ride along in the output (and thus in
+/// checkpoints and reports) so no fallback is ever silent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// Step 7 skipped a cluster whose Hawkes fit failed; its influence
+    /// contribution is an all-zero matrix.
+    HawkesClusterSkipped {
+        /// The cluster whose fit failed.
+        cluster: usize,
+        /// Why (the rendered [`HawkesError`]).
+        reason: String,
+    },
+    /// Step 4 gave up on CNN training and used the ground-truth oracle.
+    ScreenshotFilterFellBack {
+        /// Training attempts made before falling back.
+        attempts: usize,
+        /// The last training error.
+        reason: String,
+    },
+    /// A Hamming index degraded from MIH to a slower engine.
+    IndexFellBack {
+        /// The stage whose index degraded.
+        stage: StageId,
+        /// The engine actually used.
+        engine: IndexEngine,
+        /// Why the faster engines were rejected.
+        reason: String,
+    },
+}
+
+impl Degradation {
+    /// Short stable label for grouping in summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::HawkesClusterSkipped { .. } => "hawkes cluster skipped",
+            Self::ScreenshotFilterFellBack { .. } => "screenshot filter fell back to oracle",
+            Self::IndexFellBack { .. } => "hamming index fell back",
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HawkesClusterSkipped { cluster, reason } => {
+                write!(
+                    f,
+                    "cluster {cluster} skipped in influence estimation: {reason}"
+                )
+            }
+            Self::ScreenshotFilterFellBack { attempts, reason } => write!(
+                f,
+                "screenshot filter fell back to oracle after {attempts} attempts: {reason}"
+            ),
+            Self::IndexFellBack {
+                stage,
+                engine,
+                reason,
+            } => write!(f, "stage `{stage}` index fell back to {engine}: {reason}"),
+        }
     }
 }
 
@@ -143,6 +282,8 @@ pub struct PipelineOutput {
     pub occurrences: Vec<Option<usize>>,
     /// Test metrics of the screenshot classifier (Train mode only).
     pub screenshot_metrics: Option<ClassifierMetrics>,
+    /// Fallbacks taken while producing this output, in stage order.
+    pub degradations: Vec<Degradation>,
 }
 
 /// The pipeline driver.
@@ -163,71 +304,112 @@ impl Pipeline {
     }
 
     /// Run Steps 1–6 over a dataset.
+    ///
+    /// Equivalent to driving a [`PipelineRunner`] without a checkpoint;
+    /// use the runner directly for checkpointed / resumable runs.
     pub fn run(&self, dataset: &Dataset) -> Result<PipelineOutput, PipelineError> {
-        if dataset.posts.is_empty() {
-            return Err(PipelineError::EmptyDataset);
+        match PipelineRunner::new(self.clone()).run(dataset)? {
+            RunnerOutcome::Complete(out) => Ok(*out),
+            RunnerOutcome::Halted { .. } => {
+                unreachable!("runner without halt_after always completes")
+            }
         }
+    }
 
-        // --- Step 1: pHash extraction (parallel render + hash).
-        let post_hashes = self.hash_posts(dataset);
+    /// Execute one stage against the accumulated state.
+    pub(crate) fn run_stage(
+        &self,
+        stage: StageId,
+        dataset: &Dataset,
+        state: &mut StageState,
+    ) -> Result<(), PipelineError> {
+        match stage {
+            StageId::Hash => {
+                // --- Step 1: pHash extraction (parallel render + hash).
+                state.post_hashes = Some(self.hash_posts(dataset));
+                Ok(())
+            }
+            StageId::Cluster => self.stage_cluster(dataset, state),
+            StageId::Site => {
+                // --- Step 4: screenshot filtering of KYM galleries.
+                let (site, entry_meme_ids, metrics) =
+                    self.build_site(dataset, &mut state.degradations);
+                state.site = Some(site);
+                state.entry_meme_ids = Some(entry_meme_ids);
+                state.screenshot_metrics = metrics;
+                Ok(())
+            }
+            StageId::Annotate => {
+                // --- Step 5: cluster annotation.
+                let medoid_hashes = req(&state.medoid_hashes, StageId::Annotate)?;
+                let site = req(&state.site, StageId::Annotate)?;
+                let annotations = annotate_clusters(medoid_hashes, site, self.config.theta);
+                state.annotations = Some(annotations);
+                Ok(())
+            }
+            StageId::Associate => self.stage_associate(state),
+        }
+    }
 
-        // --- Steps 2-3: pairwise distances + DBSCAN on fringe images.
+    /// Steps 2–3: pairwise distances + DBSCAN + medoids over fringe
+    /// images, with the index fallback chain.
+    fn stage_cluster(
+        &self,
+        dataset: &Dataset,
+        state: &mut StageState,
+    ) -> Result<(), PipelineError> {
+        let post_hashes = req(&state.post_hashes, StageId::Cluster)?;
         let fringe_posts: Vec<usize> = dataset
             .posts
             .iter()
             .filter(|p| p.community.is_fringe())
             .map(|p| p.id)
             .collect();
-        let fringe_hashes: Vec<PHash> =
-            fringe_posts.iter().map(|&i| post_hashes[i]).collect();
-        let index = MihIndex::new(fringe_hashes.clone(), self.config.dbscan.eps);
+        let fringe_hashes: Vec<PHash> = fringe_posts.iter().map(|&i| post_hashes[i]).collect();
+        let index = FallbackIndex::build(fringe_hashes.clone(), self.config.dbscan.eps);
+        let fallback = degraded_engine(&index, StageId::Cluster);
         let neighbors = all_neighbors(&index, self.config.dbscan.eps, self.config.threads);
-        let clustering = dbscan(&neighbors, self.config.dbscan.min_pts);
+        let clustering = try_dbscan(&neighbors, self.config.dbscan.min_pts).map_err(|e| {
+            PipelineError::Stage {
+                stage: StageId::Cluster,
+                cluster: None,
+                source: StageError::Cluster(e),
+            }
+        })?;
         let medoid_positions = clustering.medoids(&fringe_hashes);
-        let medoid_hashes: Vec<PHash> =
-            medoid_positions.iter().map(|&p| fringe_hashes[p]).collect();
-        let medoid_posts: Vec<usize> =
-            medoid_positions.iter().map(|&p| fringe_posts[p]).collect();
+        state.medoid_hashes = Some(medoid_positions.iter().map(|&p| fringe_hashes[p]).collect());
+        state.medoid_posts = Some(medoid_positions.iter().map(|&p| fringe_posts[p]).collect());
+        state.fringe_posts = Some(fringe_posts);
+        state.clustering = Some(clustering);
+        state.degradations.extend(fallback);
+        Ok(())
+    }
 
-        // --- Step 4: screenshot filtering of KYM galleries + hashing.
-        let (site, entry_meme_ids, screenshot_metrics) = self.build_site(dataset);
-
-        // --- Step 5: cluster annotation.
-        let annotations = annotate_clusters(&medoid_hashes, &site, self.config.theta);
-
-        // --- Step 6: associate all posts to annotated clusters.
+    /// Step 6: associate every post to the nearest annotated cluster.
+    fn stage_associate(&self, state: &mut StageState) -> Result<(), PipelineError> {
+        let post_hashes = req(&state.post_hashes, StageId::Associate)?;
+        let medoid_hashes = req(&state.medoid_hashes, StageId::Associate)?;
+        let annotations = req(&state.annotations, StageId::Associate)?;
         let annotated: Vec<usize> = annotations
             .iter()
             .filter(|a| a.is_annotated())
             .map(|a| a.cluster)
             .collect();
-        let annotated_hashes: Vec<PHash> =
-            annotated.iter().map(|&c| medoid_hashes[c]).collect();
-        let assoc_index = MihIndex::new(annotated_hashes, self.config.theta);
+        let annotated_hashes: Vec<PHash> = annotated.iter().map(|&c| medoid_hashes[c]).collect();
+        let assoc_index = FallbackIndex::build(annotated_hashes, self.config.theta);
+        let fallback = degraded_engine(&assoc_index, StageId::Associate);
         let occurrences: Vec<Option<usize>> = post_hashes
             .iter()
             .map(|&h| {
                 let hits = assoc_index.radius_query(h, self.config.theta);
                 hits.into_iter()
-                    .min_by_key(|&pos| {
-                        (h.distance(assoc_index.hash_at(pos)), pos)
-                    })
+                    .min_by_key(|&pos| (h.distance(assoc_index.hash_at(pos)), pos))
                     .map(|pos| annotated[pos])
             })
             .collect();
-
-        Ok(PipelineOutput {
-            post_hashes,
-            fringe_posts,
-            clustering,
-            medoid_hashes,
-            medoid_posts,
-            site,
-            entry_meme_ids,
-            annotations,
-            occurrences,
-            screenshot_metrics,
-        })
+        state.occurrences = Some(occurrences);
+        state.degradations.extend(fallback);
+        Ok(())
     }
 
     /// Step 1 worker: hash every post's image in parallel.
@@ -260,18 +442,45 @@ impl Pipeline {
     }
 
     /// Step 4 worker: filter galleries, hash survivors, build the site.
+    ///
+    /// In Train mode, CNN training is retried [`MAX_TRAIN_ATTEMPTS`]
+    /// times with perturbed seeds; if every attempt diverges, the stage
+    /// falls back to the ground-truth oracle and records the fallback
+    /// rather than failing the run.
     fn build_site(
         &self,
         dataset: &Dataset,
+        degradations: &mut Vec<Degradation>,
     ) -> (KymSite, Vec<Option<usize>>, Option<ClassifierMetrics>) {
         let filter = match &self.config.screenshot_filter {
             ScreenshotFilterMode::Train {
                 corpus_scale,
                 config,
             } => {
-                let corpus = ScreenshotCorpus::generate(*corpus_scale, config.seed);
-                let (filter, metrics) = ScreenshotFilter::train(&corpus, config);
-                Some((Some(filter), Some(metrics)))
+                let mut trained = None;
+                let mut last_err = String::new();
+                for attempt in 0..MAX_TRAIN_ATTEMPTS {
+                    let mut cfg = *config;
+                    cfg.seed = config.seed.wrapping_add(attempt as u64);
+                    let corpus = ScreenshotCorpus::generate(*corpus_scale, cfg.seed);
+                    match ScreenshotFilter::try_train(&corpus, &cfg) {
+                        Ok(fm) => {
+                            trained = Some(fm);
+                            break;
+                        }
+                        Err(e) => last_err = e.to_string(),
+                    }
+                }
+                match trained {
+                    Some((filter, metrics)) => Some((Some(filter), Some(metrics))),
+                    None => {
+                        degradations.push(Degradation::ScreenshotFilterFellBack {
+                            attempts: MAX_TRAIN_ATTEMPTS,
+                            reason: last_err,
+                        });
+                        Some((None, None)) // degrade to the oracle
+                    }
+                }
             }
             ScreenshotFilterMode::Oracle => Some((None, None)),
             ScreenshotFilterMode::Off => None,
@@ -283,11 +492,9 @@ impl Pipeline {
             let mut gallery = Vec::new();
             for g in &raw.images {
                 let keep = match &filter {
-                    None => true, // Off: keep everything
+                    None => true,                          // Off: keep everything
                     Some((None, _)) => !g.is_screenshot(), // Oracle
-                    Some((Some(f), _)) => {
-                        !f.is_screenshot(&dataset.render_gallery_image(g))
-                    }
+                    Some((Some(f), _)) => !f.is_screenshot(&dataset.render_gallery_image(g)),
                 };
                 if keep {
                     gallery.push(hasher.hash(&dataset.render_gallery_image(g)));
@@ -308,6 +515,34 @@ impl Pipeline {
         let metrics = filter.and_then(|(_, m)| m);
         (KymSite::new(entries), meme_ids, metrics)
     }
+}
+
+/// Fetch a prior stage's output, or report the checkpoint as corrupt
+/// (a hand-edited or stale checkpoint can claim stages it never ran).
+fn req<T>(slot: &Option<T>, stage: StageId) -> Result<&T, PipelineError> {
+    slot.as_ref().ok_or_else(|| {
+        PipelineError::CheckpointCorrupt(format!(
+            "stage `{stage}` needs output from an earlier stage that is missing"
+        ))
+    })
+}
+
+/// The degradation record for an index that fell back, if it did.
+fn degraded_engine(index: &FallbackIndex, stage: StageId) -> Option<Degradation> {
+    if index.engine() == IndexEngine::Mih {
+        return None;
+    }
+    let reason = index
+        .rejections()
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    Some(Degradation::IndexFellBack {
+        stage,
+        engine: index.engine(),
+        reason,
+    })
 }
 
 impl PipelineOutput {
@@ -350,7 +585,9 @@ impl PipelineOutput {
             .filter(|(_, occ)| **occ == Some(cluster))
             .map(|(p, _)| Event::new(p.t, p.community.index()))
             .collect();
-        events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+        // total_cmp: NaN times (fault-injected data) must not panic the
+        // sort — the Hawkes layer rejects them with a typed error later.
+        events.sort_by(|a, b| a.t.total_cmp(&b.t));
         events
     }
 
@@ -373,7 +610,7 @@ impl PipelineOutput {
             }
         }
         for s in &mut streams {
-            s.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+            s.sort_by(|a, b| a.t.total_cmp(&b.t));
         }
         streams
     }
@@ -389,6 +626,43 @@ impl PipelineOutput {
     ) -> Result<ClusterInfluence, PipelineError> {
         let streams = self.all_cluster_events(dataset);
         Ok(estimator.estimate(&streams, dataset.horizon(), threads)?)
+    }
+
+    /// Step 7, fault-tolerantly: clusters whose Hawkes fit fails (NaN
+    /// times, foreign community ids, non-stationary or diverged EM) are
+    /// skipped — contributing zero influence — and each skip comes back
+    /// as a [`Degradation::HawkesClusterSkipped`] naming the cluster.
+    pub fn estimate_influence_robust(
+        &self,
+        dataset: &Dataset,
+        estimator: &InfluenceEstimator,
+        threads: usize,
+    ) -> (ClusterInfluence, Vec<Degradation>) {
+        let streams = self.all_cluster_events(dataset);
+        let robust = estimator.estimate_robust(&streams, dataset.horizon(), threads);
+        let annotated = self.annotated_clusters();
+        let degradations = robust
+            .skipped
+            .iter()
+            .map(|s| Degradation::HawkesClusterSkipped {
+                cluster: annotated[s.cluster],
+                reason: s.error.to_string(),
+            })
+            .collect();
+        (robust.influence, degradations)
+    }
+
+    /// Degradation counts grouped by kind, in first-seen order — the
+    /// report/CLI surface for "what fell back during this run".
+    pub fn degradation_summary(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for d in &self.degradations {
+            match counts.iter_mut().find(|(k, _)| *k == d.kind()) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.kind(), 1)),
+            }
+        }
+        counts
     }
 
     /// Custom-metric descriptors plus representative-entry names for
@@ -451,7 +725,11 @@ mod tests {
         assert_eq!(out.occurrences.len(), dataset.posts.len());
         assert_eq!(out.annotations.len(), out.clustering.n_clusters());
         assert_eq!(out.medoid_hashes.len(), out.clustering.n_clusters());
-        assert!(out.clustering.n_clusters() > 5, "clusters {}", out.clustering.n_clusters());
+        assert!(
+            out.clustering.n_clusters() > 5,
+            "clusters {}",
+            out.clustering.n_clusters()
+        );
         // Noise exists but is not everything.
         let nf = out.clustering.noise_fraction();
         assert!((0.2..0.95).contains(&nf), "noise fraction {nf}");

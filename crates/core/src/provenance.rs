@@ -40,10 +40,7 @@ pub struct OriginEstimate {
 /// Step-6 association, and score it against ground truth.
 ///
 /// Returns the per-cluster estimates and the overall accuracy.
-pub fn infer_origins(
-    dataset: &Dataset,
-    output: &PipelineOutput,
-) -> (Vec<OriginEstimate>, f64) {
+pub fn infer_origins(dataset: &Dataset, output: &PipelineOutput) -> (Vec<OriginEstimate>, f64) {
     let annotated = output.annotated_clusters();
     let mut slot_of = vec![usize::MAX; output.medoid_hashes.len()];
     for (slot, &c) in annotated.iter().enumerate() {
@@ -222,11 +219,7 @@ pub fn caption_analysis(dataset: &Dataset, output: &PipelineOutput) -> CaptionAn
         });
         actual.push(truth);
     }
-    let correct = detected
-        .iter()
-        .zip(&actual)
-        .filter(|(d, a)| d == a)
-        .count();
+    let correct = detected.iter().zip(&actual).filter(|(d, a)| d == a).count();
     CaptionAnalysis {
         accuracy: if detected.is_empty() {
             1.0

@@ -1,0 +1,462 @@
+//! Checkpointed stage runner — fault tolerance for the Fig. 2 pipeline.
+//!
+//! [`PipelineRunner`] drives a [`Pipeline`] through its steps as named,
+//! resumable **stages** ([`StageId`]). After every stage it snapshots a
+//! [`Checkpoint`] — the accumulated [`StageState`], the configuration,
+//! and a fingerprint of the dataset — to disk (atomically: a temp file
+//! renamed into place), so a run killed after stage *k* can
+//! [`PipelineRunner::resume`] from stage *k + 1* instead of starting
+//! over. This mirrors the paper's own batch/one-time-task split (§3.3):
+//! the expensive phases (hashing 160M images, pairwise distances) are
+//! exactly the ones worth never redoing.
+//!
+//! A checkpoint is only honoured when it matches the dataset **and** the
+//! configuration it was taken under; anything else is a
+//! [`PipelineError::CheckpointMismatch`], because silently mixing stage
+//! outputs across configs would corrupt every downstream figure.
+
+use crate::pipeline::{Degradation, Pipeline, PipelineConfig, PipelineError, PipelineOutput};
+use meme_annotate::annotator::ClusterAnnotation;
+use meme_annotate::kym::KymSite;
+use meme_annotate::screenshot::ClassifierMetrics;
+use meme_cluster::Clustering;
+use meme_phash::PHash;
+use meme_simweb::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// The named pipeline stages, in execution order.
+///
+/// Step 7 (Hawkes influence) is deliberately not a stage: it is computed
+/// on demand from a completed [`PipelineOutput`] (see
+/// [`PipelineOutput::estimate_influence_robust`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageId {
+    /// Step 1 — pHash extraction over every post image.
+    Hash,
+    /// Steps 2–3 — pairwise distances, DBSCAN, medoid selection.
+    Cluster,
+    /// Step 4 — KYM site build with screenshot filtering.
+    Site,
+    /// Step 5 — cluster annotation against the KYM site.
+    Annotate,
+    /// Step 6 — association of all communities' posts to clusters.
+    Associate,
+}
+
+impl StageId {
+    /// All stages in execution order.
+    pub const ALL: [StageId; 5] = [
+        StageId::Hash,
+        StageId::Cluster,
+        StageId::Site,
+        StageId::Annotate,
+        StageId::Associate,
+    ];
+
+    /// Stable human-readable name (used by checkpoints and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Hash => "hash",
+            StageId::Cluster => "cluster",
+            StageId::Site => "site",
+            StageId::Annotate => "annotate",
+            StageId::Associate => "associate",
+        }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Intermediate results accumulated stage by stage.
+///
+/// Every field starts `None` and is filled by exactly one stage; the
+/// assembled [`PipelineOutput`] requires all of them. Degradations are
+/// appended by whichever stage had to fall back.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageState {
+    /// Stage `hash`: pHash per post, aligned with `dataset.posts`.
+    pub post_hashes: Option<Vec<PHash>>,
+    /// Stage `cluster`: post indices of the clustered fringe images.
+    pub fringe_posts: Option<Vec<usize>>,
+    /// Stage `cluster`: the DBSCAN clustering over `fringe_posts`.
+    pub clustering: Option<Clustering>,
+    /// Stage `cluster`: medoid hash per cluster.
+    pub medoid_hashes: Option<Vec<PHash>>,
+    /// Stage `cluster`: medoid post index per cluster.
+    pub medoid_posts: Option<Vec<usize>>,
+    /// Stage `site`: the filtered, hashed KYM site.
+    pub site: Option<KymSite>,
+    /// Stage `site`: ground-truth meme id per site entry.
+    pub entry_meme_ids: Option<Vec<Option<usize>>>,
+    /// Stage `site`: classifier test metrics (Train mode only).
+    pub screenshot_metrics: Option<ClassifierMetrics>,
+    /// Stage `annotate`: one annotation per cluster.
+    pub annotations: Option<Vec<ClusterAnnotation>>,
+    /// Stage `associate`: annotated-cluster id per post.
+    pub occurrences: Option<Vec<Option<usize>>>,
+    /// Degradations recorded so far, in stage order.
+    pub degradations: Vec<Degradation>,
+}
+
+impl StageState {
+    /// Assemble the final output once every stage has run.
+    pub(crate) fn into_output(self) -> Result<PipelineOutput, PipelineError> {
+        fn take<T>(v: Option<T>, what: &str) -> Result<T, PipelineError> {
+            v.ok_or_else(|| {
+                PipelineError::CheckpointCorrupt(format!(
+                    "checkpoint claims completion but stage output `{what}` is missing"
+                ))
+            })
+        }
+        Ok(PipelineOutput {
+            post_hashes: take(self.post_hashes, "post_hashes")?,
+            fringe_posts: take(self.fringe_posts, "fringe_posts")?,
+            clustering: take(self.clustering, "clustering")?,
+            medoid_hashes: take(self.medoid_hashes, "medoid_hashes")?,
+            medoid_posts: take(self.medoid_posts, "medoid_posts")?,
+            site: take(self.site, "site")?,
+            entry_meme_ids: take(self.entry_meme_ids, "entry_meme_ids")?,
+            annotations: take(self.annotations, "annotations")?,
+            occurrences: take(self.occurrences, "occurrences")?,
+            screenshot_metrics: self.screenshot_metrics,
+            degradations: self.degradations,
+        })
+    }
+}
+
+/// A snapshot of a run after some prefix of completed stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Fingerprint of the dataset the run was started on.
+    pub dataset_fingerprint: u64,
+    /// The configuration the run was started under.
+    pub config: PipelineConfig,
+    /// Stages completed so far, in execution order.
+    pub completed: Vec<StageId>,
+    /// Their accumulated outputs.
+    pub state: StageState,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a fresh run.
+    pub fn fresh(dataset: &Dataset, config: PipelineConfig) -> Self {
+        Self {
+            dataset_fingerprint: dataset_fingerprint(dataset),
+            config,
+            completed: Vec::new(),
+            state: StageState::default(),
+        }
+    }
+
+    /// Whether every stage has completed.
+    pub fn is_complete(&self) -> bool {
+        StageId::ALL.iter().all(|s| self.completed.contains(s))
+    }
+
+    /// The first stage that has not yet completed.
+    pub fn next_stage(&self) -> Option<StageId> {
+        StageId::ALL
+            .into_iter()
+            .find(|s| !self.completed.contains(s))
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    /// Restore a checkpoint saved with [`Checkpoint::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// FNV-1a fingerprint of a dataset's post skeleton (count, timestamps,
+/// communities). Cheap, stable across runs, and sensitive to exactly
+/// the inputs whose change would invalidate stage outputs.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, word: u64) -> u64 {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = eat(OFFSET, dataset.posts.len() as u64);
+    for p in &dataset.posts {
+        h = eat(h, p.t.to_bits());
+        h = eat(h, p.community.index() as u64);
+    }
+    h
+}
+
+/// What a runner invocation produced.
+#[derive(Debug)]
+pub enum RunnerOutcome {
+    /// Every stage ran; here is the assembled output.
+    Complete(Box<PipelineOutput>),
+    /// The runner stopped after the requested stage (checkpoint saved).
+    Halted {
+        /// The last stage that completed before halting.
+        after: StageId,
+    },
+}
+
+impl RunnerOutcome {
+    /// Unwrap the completed output; panics on [`RunnerOutcome::Halted`].
+    pub fn expect_complete(self) -> PipelineOutput {
+        match self {
+            RunnerOutcome::Complete(out) => *out,
+            RunnerOutcome::Halted { after } => {
+                panic!("pipeline halted after stage `{after}`, no output")
+            }
+        }
+    }
+}
+
+/// Drives a [`Pipeline`] stage by stage with optional checkpointing.
+#[derive(Debug, Clone)]
+pub struct PipelineRunner {
+    pipeline: Pipeline,
+    checkpoint_path: Option<PathBuf>,
+    halt_after: Option<StageId>,
+}
+
+impl PipelineRunner {
+    /// A runner with no checkpointing.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self {
+            pipeline,
+            checkpoint_path: None,
+            halt_after: None,
+        }
+    }
+
+    /// Snapshot a checkpoint to `path` after every completed stage.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Stop (checkpoint saved) after the given stage completes — the
+    /// test hook that simulates a run killed mid-pipeline.
+    pub fn halt_after(mut self, stage: StageId) -> Self {
+        self.halt_after = Some(stage);
+        self
+    }
+
+    /// Run every stage from scratch, ignoring any existing checkpoint.
+    pub fn run(&self, dataset: &Dataset) -> Result<RunnerOutcome, PipelineError> {
+        if dataset.posts.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+        let ckpt = Checkpoint::fresh(dataset, self.pipeline.config().clone());
+        self.drive(dataset, ckpt)
+    }
+
+    /// Continue from the checkpoint on disk (validated against this
+    /// dataset and configuration), or start fresh when none exists.
+    pub fn resume(&self, dataset: &Dataset) -> Result<RunnerOutcome, PipelineError> {
+        if dataset.posts.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+        let ckpt = match &self.checkpoint_path {
+            Some(path) if path.exists() => self.load(dataset)?,
+            _ => Checkpoint::fresh(dataset, self.pipeline.config().clone()),
+        };
+        self.drive(dataset, ckpt)
+    }
+
+    /// Load and validate the checkpoint file.
+    fn load(&self, dataset: &Dataset) -> Result<Checkpoint, PipelineError> {
+        let path = self
+            .checkpoint_path
+            .as_ref()
+            .expect("load is only called with a checkpoint path");
+        let text = fs::read_to_string(path)
+            .map_err(|e| PipelineError::CheckpointIo(format!("read {}: {e}", path.display())))?;
+        let ckpt = Checkpoint::from_json(&text)
+            .map_err(|e| PipelineError::CheckpointCorrupt(e.to_string()))?;
+        let expect = dataset_fingerprint(dataset);
+        if ckpt.dataset_fingerprint != expect {
+            return Err(PipelineError::CheckpointMismatch(format!(
+                "checkpoint was taken on a different dataset \
+                 (fingerprint {:#018x}, expected {expect:#018x})",
+                ckpt.dataset_fingerprint
+            )));
+        }
+        if ckpt.config != *self.pipeline.config() {
+            return Err(PipelineError::CheckpointMismatch(
+                "checkpoint was taken under a different pipeline configuration".into(),
+            ));
+        }
+        Ok(ckpt)
+    }
+
+    /// Run the stages the checkpoint has not yet completed.
+    fn drive(
+        &self,
+        dataset: &Dataset,
+        mut ckpt: Checkpoint,
+    ) -> Result<RunnerOutcome, PipelineError> {
+        let last = *StageId::ALL.last().expect("stage list is non-empty");
+        for stage in StageId::ALL {
+            if ckpt.completed.contains(&stage) {
+                continue;
+            }
+            self.pipeline.run_stage(stage, dataset, &mut ckpt.state)?;
+            ckpt.completed.push(stage);
+            self.save(&ckpt)?;
+            if self.halt_after == Some(stage) && stage != last {
+                return Ok(RunnerOutcome::Halted { after: stage });
+            }
+        }
+        ckpt.state
+            .into_output()
+            .map(|out| RunnerOutcome::Complete(Box::new(out)))
+    }
+
+    /// Atomically persist the checkpoint (write temp file, then rename)
+    /// so a crash mid-write never leaves a truncated checkpoint behind.
+    fn save(&self, ckpt: &Checkpoint) -> Result<(), PipelineError> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("ckpt-tmp");
+        fs::write(&tmp, ckpt.to_json())
+            .map_err(|e| PipelineError::CheckpointIo(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            PipelineError::CheckpointIo(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use meme_simweb::SimConfig;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "memes-runner-test-{}-{name}.json",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn stage_order_is_stable() {
+        let names: Vec<&str> = StageId::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["hash", "cluster", "site", "annotate", "associate"]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_post_skeleton() {
+        let a = SimConfig::tiny(21).generate();
+        let b = SimConfig::tiny(22).generate();
+        assert_ne!(dataset_fingerprint(&a), dataset_fingerprint(&b));
+        assert_eq!(dataset_fingerprint(&a), dataset_fingerprint(&a));
+    }
+
+    #[test]
+    fn runner_matches_plain_pipeline() {
+        let dataset = SimConfig::tiny(23).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let plain = pipeline.run(&dataset).unwrap();
+        let staged = PipelineRunner::new(pipeline)
+            .run(&dataset)
+            .unwrap()
+            .expect_complete();
+        assert_eq!(plain.to_json(), staged.to_json());
+    }
+
+    #[test]
+    fn halt_then_resume_equals_uninterrupted() {
+        let dataset = SimConfig::tiny(24).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let whole = pipeline.run(&dataset).unwrap();
+        for stage in StageId::ALL {
+            let path = tmp_path(&format!("halt-{stage}"));
+            let _ = fs::remove_file(&path);
+            let runner = PipelineRunner::new(pipeline.clone())
+                .with_checkpoint(&path)
+                .halt_after(stage);
+            let outcome = runner.run(&dataset).unwrap();
+            let resumed = match outcome {
+                RunnerOutcome::Halted { after } => {
+                    assert_eq!(after, stage);
+                    let ckpt = Checkpoint::from_json(&fs::read_to_string(&path).unwrap()).unwrap();
+                    assert!(ckpt.completed.contains(&stage));
+                    assert!(!ckpt.is_complete());
+                    PipelineRunner::new(pipeline.clone())
+                        .with_checkpoint(&path)
+                        .resume(&dataset)
+                        .unwrap()
+                        .expect_complete()
+                }
+                // Halting after the final stage just completes.
+                RunnerOutcome::Complete(out) => *out,
+            };
+            assert_eq!(whole.to_json(), resumed.to_json(), "stage {stage}");
+            let _ = fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_other_dataset_and_config() {
+        let dataset = SimConfig::tiny(25).generate();
+        let other = SimConfig::tiny(26).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let path = tmp_path("mismatch");
+        let _ = fs::remove_file(&path);
+        let outcome = PipelineRunner::new(pipeline.clone())
+            .with_checkpoint(&path)
+            .halt_after(StageId::Hash)
+            .run(&dataset)
+            .unwrap();
+        assert!(matches!(outcome, RunnerOutcome::Halted { .. }));
+
+        let err = PipelineRunner::new(pipeline.clone())
+            .with_checkpoint(&path)
+            .resume(&other)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::CheckpointMismatch(_)), "{err}");
+
+        let mut changed = PipelineConfig::fast();
+        changed.theta = 5;
+        let err = PipelineRunner::new(Pipeline::new(changed))
+            .with_checkpoint(&path)
+            .resume(&dataset)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::CheckpointMismatch(_)), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let dataset = SimConfig::tiny(27).generate();
+        let path = tmp_path("corrupt");
+        fs::write(&path, "{ not json").unwrap();
+        let err = PipelineRunner::new(Pipeline::new(PipelineConfig::fast()))
+            .with_checkpoint(&path)
+            .resume(&dataset)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::CheckpointCorrupt(_)), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -122,12 +122,7 @@ mod tests {
     use meme_stats::seeded_rng;
 
     fn toy() -> HawkesModel {
-        HawkesModel::new(
-            vec![0.4, 0.1],
-            vec![vec![0.3, 0.3], vec![0.05, 0.2]],
-            2.0,
-        )
-        .unwrap()
+        HawkesModel::new(vec![0.4, 0.1], vec![vec![0.3, 0.3], vec![0.05, 0.2]], 2.0).unwrap()
     }
 
     #[test]
@@ -140,19 +135,14 @@ mod tests {
         // Second event splits between background and event 0.
         assert!(dists[1].background < 1.0);
         assert_eq!(dists[1].parents.len(), 1);
-        let total: f64 =
-            dists[1].background + dists[1].parents.iter().map(|(_, p)| p).sum::<f64>();
+        let total: f64 = dists[1].background + dists[1].parents.iter().map(|(_, p)| p).sum::<f64>();
         assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn closer_parents_get_more_mass() {
         let m = toy();
-        let events = vec![
-            Event::new(0.0, 0),
-            Event::new(2.0, 0),
-            Event::new(2.1, 1),
-        ];
+        let events = vec![Event::new(0.0, 0), Event::new(2.0, 0), Event::new(2.1, 1)];
         let dists = parent_probabilities(&m, &events);
         let p_recent = dists[2]
             .parents
@@ -232,11 +222,7 @@ mod tests {
     #[test]
     fn pure_background_model_attributes_everything_to_self() {
         let m = HawkesModel::new(vec![1.0, 1.0], vec![vec![0.0; 2]; 2], 1.0).unwrap();
-        let events = vec![
-            Event::new(0.5, 0),
-            Event::new(0.6, 1),
-            Event::new(0.7, 0),
-        ];
+        let events = vec![Event::new(0.5, 0), Event::new(0.6, 1), Event::new(0.7, 0)];
         let counts = root_cause_matrix(&m, &events);
         assert_eq!(counts[0][0], 2.0);
         assert_eq!(counts[1][1], 1.0);

@@ -73,9 +73,7 @@ pub fn fit_em(
         ));
     }
     if events.is_empty() {
-        return Err(HawkesError::InvalidEvents(
-            "cannot fit an empty event stream".into(),
-        ));
+        return Err(HawkesError::EmptyEvents);
     }
     if !(horizon.is_finite() && horizon > 0.0) {
         return Err(HawkesError::InvalidParameter(
@@ -188,6 +186,20 @@ pub fn fit_em(
         prev_ll = ll;
     }
 
+    // A NaN likelihood or non-finite parameters mean an update step blew
+    // up (the loop above only detects *improvement*, so NaN sails
+    // through the tolerance check); report divergence instead of handing
+    // back a poisoned model.
+    if !prev_ll.is_finite()
+        || model.mu.iter().any(|m| !m.is_finite())
+        || model.w.iter().flatten().any(|x| !x.is_finite())
+        || !model.beta.is_finite()
+    {
+        return Err(HawkesError::Diverged(format!(
+            "non-finite fit after {iterations} iterations (log-likelihood {prev_ll})"
+        )));
+    }
+
     Ok(EmFit {
         log_likelihood: prev_ll,
         model,
@@ -207,15 +219,24 @@ pub fn fit_em(
 ///
 /// Returns `bins` density values (integrating to ~1 when enough mass
 /// falls inside the window); all-zero when the stream has no plausible
-/// parent-child pairs.
+/// parent-child pairs. Errors on `bins == 0` or a non-positive /
+/// non-finite `max_lag`.
 pub fn impulse_histogram(
     model: &HawkesModel,
     events: &[Event],
     bins: usize,
     max_lag: f64,
-) -> Vec<f64> {
-    assert!(bins > 0, "need at least one bin");
-    assert!(max_lag > 0.0, "max_lag must be positive");
+) -> Result<Vec<f64>, HawkesError> {
+    if bins == 0 {
+        return Err(HawkesError::InvalidParameter(
+            "need at least one bin".into(),
+        ));
+    }
+    if !(max_lag.is_finite() && max_lag > 0.0) {
+        return Err(HawkesError::InvalidParameter(
+            "max_lag must be finite and positive".into(),
+        ));
+    }
     let dists = crate::attribution::parent_probabilities(model, events);
     let width = max_lag / bins as f64;
     let mut hist = vec![0.0f64; bins];
@@ -234,7 +255,7 @@ pub fn impulse_histogram(
             *h /= total * width;
         }
     }
-    hist
+    Ok(hist)
 }
 
 #[cfg(test)]
@@ -259,13 +280,7 @@ mod tests {
         assert!(fit_em(&[Event::new(1.0, 0)], 0, 10.0, &cfg).is_err());
         assert!(fit_em(&[Event::new(1.0, 0)], 1, 0.0, &cfg).is_err());
         assert!(fit_em(&[Event::new(1.0, 3)], 2, 10.0, &cfg).is_err());
-        assert!(fit_em(
-            &[Event::new(2.0, 0), Event::new(1.0, 0)],
-            1,
-            10.0,
-            &cfg
-        )
-        .is_err());
+        assert!(fit_em(&[Event::new(2.0, 0), Event::new(1.0, 0)], 1, 10.0, &cfg).is_err());
     }
 
     #[test]
@@ -285,10 +300,7 @@ mod tests {
             lls.push(fit.log_likelihood);
         }
         for w in lls.windows(2) {
-            assert!(
-                w[1] >= w[0] - 1e-6,
-                "EM log-likelihood decreased: {lls:?}"
-            );
+            assert!(w[1] >= w[0] - 1e-6, "EM log-likelihood decreased: {lls:?}");
         }
     }
 
@@ -297,7 +309,11 @@ mod tests {
         let truth = ground_truth();
         let mut rng = seeded_rng(7);
         let events = strip_lineage(&simulate_branching(&truth, 4000.0, &mut rng));
-        assert!(events.len() > 2000, "need a decent sample: {}", events.len());
+        assert!(
+            events.len() > 2000,
+            "need a decent sample: {}",
+            events.len()
+        );
         let cfg = EmConfig {
             beta: 2.0,
             max_iters: 200,
@@ -385,7 +401,7 @@ mod tests {
         let truth = ground_truth(); // beta = 2.0
         let mut rng = seeded_rng(77);
         let events = strip_lineage(&simulate_branching(&truth, 2500.0, &mut rng));
-        let hist = impulse_histogram(&truth, &events, 10, 2.0);
+        let hist = impulse_histogram(&truth, &events, 10, 2.0).unwrap();
         // Density at the origin approaches beta = 2 and decays
         // monotonically (allowing small sampling wiggle).
         assert!(hist[0] > 1.4, "origin density {}", hist[0]);
@@ -402,8 +418,27 @@ mod tests {
     #[test]
     fn impulse_histogram_empty_without_parents() {
         let m = HawkesModel::new(vec![1.0], vec![vec![0.0]], 1.0).unwrap();
-        let hist = impulse_histogram(&m, &[Event::new(1.0, 0)], 5, 1.0);
+        let hist = impulse_histogram(&m, &[Event::new(1.0, 0)], 5, 1.0).unwrap();
         assert!(hist.iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn impulse_histogram_rejects_degenerate_binning() {
+        let m = HawkesModel::new(vec![1.0], vec![vec![0.1]], 1.0).unwrap();
+        let events = [Event::new(1.0, 0)];
+        assert!(impulse_histogram(&m, &events, 0, 1.0).is_err());
+        assert!(impulse_histogram(&m, &events, 5, 0.0).is_err());
+        assert!(impulse_histogram(&m, &events, 5, -1.0).is_err());
+        assert!(impulse_histogram(&m, &events, 5, f64::NAN).is_err());
+        assert!(impulse_histogram(&m, &events, 5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_typed_error() {
+        assert!(matches!(
+            fit_em(&[], 2, 10.0, &EmConfig::default()),
+            Err(HawkesError::EmptyEvents)
+        ));
     }
 
     #[test]
@@ -418,6 +453,10 @@ mod tests {
             ..EmConfig::default()
         };
         let fit = fit_em(&events, 2, 500.0, &cfg).unwrap();
-        assert!(fit.converged, "did not converge in {} iters", fit.iterations);
+        assert!(
+            fit.converged,
+            "did not converge in {} iters",
+            fit.iterations
+        );
     }
 }

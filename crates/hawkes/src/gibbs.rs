@@ -156,8 +156,7 @@ pub fn fit_gibbs<R: Rng + ?Sized>(
             z[i] = if weights.len() == 1 || weights.iter().sum::<f64>() <= 0.0 {
                 usize::MAX
             } else {
-                let cat = Categorical::new(&weights)
-                    .expect("weights are positive and finite");
+                let cat = Categorical::new(&weights).expect("weights are positive and finite");
                 cand_idx[cat.sample(rng)]
             };
         }

@@ -17,7 +17,7 @@
 use crate::attribution::root_cause_matrix;
 use crate::em::{fit_em, EmConfig};
 use crate::gibbs::{fit_gibbs, GibbsConfig};
-use crate::model::{Event, HawkesError};
+use crate::model::{Event, HawkesError, HawkesModel};
 use meme_stats::ks::ks_two_sample;
 use meme_stats::{child_seed, seeded_rng};
 use serde::{Deserialize, Serialize};
@@ -158,6 +158,27 @@ pub struct ClusterInfluence {
     pub total: InfluenceMatrix,
 }
 
+/// One cluster the robust estimator gave up on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedCluster {
+    /// Index into the input cluster list.
+    pub cluster: usize,
+    /// Why the fit was abandoned.
+    pub error: HawkesError,
+}
+
+/// Output of [`InfluenceEstimator::estimate_robust`]: aggregates over
+/// the clusters that fitted, plus a record of every cluster that did
+/// not (those contribute zero matrices).
+#[derive(Debug, Clone)]
+pub struct RobustInfluence {
+    /// The aggregate, identical in shape to [`ClusterInfluence`].
+    pub influence: ClusterInfluence,
+    /// Clusters whose fit failed or landed non-stationary, in ascending
+    /// cluster order.
+    pub skipped: Vec<SkippedCluster>,
+}
+
 impl InfluenceEstimator {
     /// An EM-backed estimator over `k` communities with kernel decay
     /// `beta`.
@@ -204,9 +225,7 @@ impl InfluenceEstimator {
                 .enumerate()
             {
                 handles.push(s.spawn(move |_| {
-                    for (off, (slot, events)) in
-                        slot_chunk.iter_mut().zip(data_chunk).enumerate()
-                    {
+                    for (off, (slot, events)) in slot_chunk.iter_mut().zip(data_chunk).enumerate() {
                         let cluster_idx = chunk_id * chunk_len + off;
                         match fit_one(fitter, events, k, horizon, cluster_idx) {
                             Ok(m) => *slot = m,
@@ -216,7 +235,10 @@ impl InfluenceEstimator {
                     None
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
         })
         .expect("worker thread panicked");
         if let Some(e) = errors.into_iter().flatten().next() {
@@ -229,6 +251,87 @@ impl InfluenceEstimator {
         }
         Ok(ClusterInfluence { per_cluster, total })
     }
+
+    /// Like [`InfluenceEstimator::estimate`], but a cluster whose fit
+    /// fails — invalid events, a diverged optimizer, or a fitted model
+    /// at/past the critical branching ratio — is *skipped* (it
+    /// contributes a zero matrix) and recorded, instead of aborting the
+    /// whole estimate. Deterministic regardless of thread count.
+    pub fn estimate_robust(
+        &self,
+        clusters: &[Vec<Event>],
+        horizon: f64,
+        threads: usize,
+    ) -> RobustInfluence {
+        let k = self.k;
+        let n = clusters.len();
+        let mut per_cluster: Vec<InfluenceMatrix> = vec![InfluenceMatrix::zeros(k); n];
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let threads = if threads == 0 { hw } else { threads }.clamp(1, n.max(1));
+        let chunk_len = n.div_ceil(threads);
+
+        let fitter = &self.fitter;
+        let skipped: Vec<SkippedCluster> = crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (chunk_id, (slot_chunk, data_chunk)) in per_cluster
+                .chunks_mut(chunk_len)
+                .zip(clusters.chunks(chunk_len))
+                .enumerate()
+            {
+                handles.push(s.spawn(move |_| {
+                    let mut skips = Vec::new();
+                    for (off, (slot, events)) in slot_chunk.iter_mut().zip(data_chunk).enumerate() {
+                        let cluster = chunk_id * chunk_len + off;
+                        match fit_one_checked(fitter, events, k, horizon, cluster) {
+                            Ok(m) => *slot = m,
+                            Err(error) => skips.push(SkippedCluster { cluster, error }),
+                        }
+                    }
+                    skips
+                }));
+            }
+            // Chunks are in cluster order, so concatenating the
+            // per-chunk skip lists keeps `skipped` sorted.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("worker thread panicked");
+
+        let mut total = InfluenceMatrix::zeros(k);
+        for m in &per_cluster {
+            total.add(m);
+        }
+        RobustInfluence {
+            influence: ClusterInfluence { per_cluster, total },
+            skipped,
+        }
+    }
+}
+
+/// Fit one cluster's model; `Ok(None)` for an empty stream (no events,
+/// nothing to attribute).
+fn fit_model(
+    fitter: &Fitter,
+    events: &[Event],
+    k: usize,
+    horizon: f64,
+    cluster_idx: usize,
+) -> Result<Option<HawkesModel>, HawkesError> {
+    if events.is_empty() {
+        return Ok(None);
+    }
+    let model = match fitter {
+        Fitter::Em(cfg) => fit_em(events, k, horizon, cfg)?.model,
+        Fitter::Gibbs(cfg, seed) => {
+            let mut rng = seeded_rng(child_seed(*seed, cluster_idx as u64));
+            fit_gibbs(events, k, horizon, cfg, &mut rng)?.model
+        }
+    };
+    Ok(Some(model))
 }
 
 fn fit_one(
@@ -238,19 +341,37 @@ fn fit_one(
     horizon: f64,
     cluster_idx: usize,
 ) -> Result<InfluenceMatrix, HawkesError> {
-    if events.is_empty() {
-        return Ok(InfluenceMatrix::zeros(k));
+    match fit_model(fitter, events, k, horizon, cluster_idx)? {
+        None => Ok(InfluenceMatrix::zeros(k)),
+        Some(model) => Ok(InfluenceMatrix::from_counts(root_cause_matrix(
+            &model, events,
+        ))),
     }
-    let model = match fitter {
-        Fitter::Em(cfg) => fit_em(events, k, horizon, cfg)?.model,
-        Fitter::Gibbs(cfg, seed) => {
-            let mut rng = seeded_rng(child_seed(*seed, cluster_idx as u64));
-            fit_gibbs(events, k, horizon, cfg, &mut rng)?.model
+}
+
+/// The robust path: additionally rejects fits at or past the critical
+/// branching ratio, where root-cause attribution is meaningless.
+fn fit_one_checked(
+    fitter: &Fitter,
+    events: &[Event],
+    k: usize,
+    horizon: f64,
+    cluster_idx: usize,
+) -> Result<InfluenceMatrix, HawkesError> {
+    match fit_model(fitter, events, k, horizon, cluster_idx)? {
+        None => Ok(InfluenceMatrix::zeros(k)),
+        Some(model) => {
+            let rho = model.spectral_radius();
+            if rho >= 1.0 {
+                return Err(HawkesError::NonStationary {
+                    spectral_radius: rho,
+                });
+            }
+            Ok(InfluenceMatrix::from_counts(root_cause_matrix(
+                &model, events,
+            )))
         }
-    };
-    Ok(InfluenceMatrix::from_counts(root_cause_matrix(
-        &model, events,
-    )))
+    }
 }
 
 /// Cluster-bootstrap confidence intervals for an influence matrix.
@@ -510,6 +631,49 @@ mod tests {
     }
 
     #[test]
+    fn robust_estimate_matches_plain_on_clean_clusters() {
+        let clusters = make_clusters(6, 150.0, 36);
+        let est = InfluenceEstimator::new(3, 2.0);
+        let plain = est.estimate(&clusters, 150.0, 2).unwrap();
+        let robust = est.estimate_robust(&clusters, 150.0, 2);
+        assert!(robust.skipped.is_empty(), "skips: {:?}", robust.skipped);
+        assert_eq!(robust.influence.total, plain.total);
+        assert_eq!(robust.influence.per_cluster, plain.per_cluster);
+    }
+
+    #[test]
+    fn robust_estimate_skips_poisoned_clusters() {
+        let mut clusters = make_clusters(4, 150.0, 37);
+        // Cluster 1: a NaN event time; cluster 3: out-of-range process.
+        clusters[1].push(Event::new(f64::NAN, 0));
+        clusters[3] = vec![Event::new(1.0, 7)];
+        let est = InfluenceEstimator::new(3, 2.0);
+        // The strict path refuses the whole batch…
+        assert!(est.estimate(&clusters, 150.0, 2).is_err());
+        // …the robust path completes and records the two bad clusters.
+        let robust = est.estimate_robust(&clusters, 150.0, 2);
+        let skipped_ids: Vec<usize> = robust.skipped.iter().map(|s| s.cluster).collect();
+        assert_eq!(skipped_ids, vec![1, 3]);
+        assert_eq!(robust.influence.per_cluster[1], InfluenceMatrix::zeros(3));
+        assert_eq!(robust.influence.per_cluster[3], InfluenceMatrix::zeros(3));
+        // The clean clusters still contribute their full event mass.
+        let events: f64 = robust.influence.total.events_per_community().iter().sum();
+        let clean: f64 = clusters[0].len() as f64 + clusters[2].len() as f64;
+        assert!((events - clean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn robust_estimate_deterministic_across_threads() {
+        let mut clusters = make_clusters(5, 150.0, 38);
+        clusters[2].push(Event::new(f64::NAN, 0));
+        let est = InfluenceEstimator::new(3, 2.0);
+        let a = est.estimate_robust(&clusters, 150.0, 1);
+        let b = est.estimate_robust(&clusters, 150.0, 4);
+        assert_eq!(a.influence.total, b.influence.total);
+        assert_eq!(a.skipped, b.skipped);
+    }
+
+    #[test]
     fn gibbs_fitter_runs() {
         let clusters = make_clusters(3, 120.0, 34);
         let est = InfluenceEstimator::with_fitter(
@@ -564,7 +728,11 @@ mod tests {
             split.a_percent[0][1],
             split.b_percent[0][1]
         );
-        assert!(split.significant(0, 1, 0.01), "p = {}", split.p_values[0][1]);
+        assert!(
+            split.significant(0, 1, 0.01),
+            "p = {}",
+            split.p_values[0][1]
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use em::{fit_em, impulse_histogram, EmConfig, EmFit};
 pub use gibbs::{fit_gibbs, GibbsConfig, GibbsFit};
 pub use influence::{
     bootstrap_ci, BootstrapCi, ClusterInfluence, Fitter, InfluenceEstimator, InfluenceMatrix,
-    SplitInfluence,
+    RobustInfluence, SkippedCluster, SplitInfluence,
 };
 pub use model::{Event, HawkesError, HawkesModel};
 pub use residual::{residual_analysis, ResidualReport};

@@ -29,6 +29,17 @@ pub enum HawkesError {
     InvalidParameter(String),
     /// Event stream invalid (unsorted, out-of-range process id…).
     InvalidEvents(String),
+    /// The event stream was empty where a fit needs data.
+    EmptyEvents,
+    /// A fit landed at or beyond the critical branching ratio: the
+    /// spectral radius of the fitted weight matrix reached 1, so
+    /// cascades do not die out and attribution is unreliable.
+    NonStationary {
+        /// Spectral radius of the fitted weight matrix.
+        spectral_radius: f64,
+    },
+    /// A fit produced non-finite parameters or likelihood.
+    Diverged(String),
 }
 
 impl fmt::Display for HawkesError {
@@ -37,6 +48,12 @@ impl fmt::Display for HawkesError {
             Self::DimensionMismatch(s) => write!(f, "dimension mismatch: {s}"),
             Self::InvalidParameter(s) => write!(f, "invalid parameter: {s}"),
             Self::InvalidEvents(s) => write!(f, "invalid events: {s}"),
+            Self::EmptyEvents => write!(f, "empty event stream"),
+            Self::NonStationary { spectral_radius } => write!(
+                f,
+                "non-stationary fit: spectral radius {spectral_radius} >= 1"
+            ),
+            Self::Diverged(s) => write!(f, "fit diverged: {s}"),
         }
     }
 }
@@ -240,11 +257,7 @@ impl HawkesModel {
                     next[dst] += row[dst] * rate[src];
                 }
             }
-            let diff: f64 = next
-                .iter()
-                .zip(&rate)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = next.iter().zip(&rate).map(|(a, b)| (a - b).abs()).sum();
             rate = next;
             if diff < 1e-12 {
                 break;
@@ -259,12 +272,7 @@ mod tests {
     use super::*;
 
     fn toy() -> HawkesModel {
-        HawkesModel::new(
-            vec![0.5, 0.2],
-            vec![vec![0.3, 0.2], vec![0.1, 0.4]],
-            1.5,
-        )
-        .unwrap()
+        HawkesModel::new(vec![0.5, 0.2], vec![vec![0.3, 0.2], vec![0.1, 0.4]], 1.5).unwrap()
     }
 
     #[test]
@@ -279,12 +287,8 @@ mod tests {
 
     #[test]
     fn spectral_radius_diagonal() {
-        let m = HawkesModel::new(
-            vec![1.0, 1.0],
-            vec![vec![0.7, 0.0], vec![0.0, 0.3]],
-            1.0,
-        )
-        .unwrap();
+        let m =
+            HawkesModel::new(vec![1.0, 1.0], vec![vec![0.7, 0.0], vec![0.0, 0.3]], 1.0).unwrap();
         assert!((m.spectral_radius() - 0.7).abs() < 1e-6);
         assert!(m.is_stationary());
     }
@@ -382,8 +386,7 @@ mod tests {
         let rates = m.stationary_rates().unwrap();
         // Check Λ = μ + W^T Λ.
         for dst in 0..2 {
-            let expected =
-                m.mu[dst] + m.w[0][dst] * rates[0] + m.w[1][dst] * rates[1];
+            let expected = m.mu[dst] + m.w[0][dst] * rates[0] + m.w[1][dst] * rates[1];
             assert!((rates[dst] - expected).abs() < 1e-9);
         }
         // Rates exceed background (self/cross excitation adds volume).

@@ -26,10 +26,7 @@ pub struct ResidualReport {
 impl ResidualReport {
     /// Whether every process with enough data passes at level `alpha`.
     pub fn passes(&self, alpha: f64) -> bool {
-        self.p_value
-            .iter()
-            .flatten()
-            .all(|p| *p >= alpha)
+        self.p_value.iter().flatten().all(|p| *p >= alpha)
     }
 }
 
@@ -115,12 +112,7 @@ mod tests {
     use rand::distr::Distribution;
 
     fn truth() -> HawkesModel {
-        HawkesModel::new(
-            vec![0.5, 0.2],
-            vec![vec![0.3, 0.2], vec![0.1, 0.3]],
-            2.0,
-        )
-        .unwrap()
+        HawkesModel::new(vec![0.5, 0.2], vec![vec![0.3, 0.2], vec![0.1, 0.3]], 2.0).unwrap()
     }
 
     #[test]
@@ -147,11 +139,7 @@ mod tests {
         let mut rng = seeded_rng(53);
         let events = strip_lineage(&simulate_branching(&m, 1500.0, &mut rng));
         let report = residual_analysis(&m, &events, 1500.0).unwrap();
-        assert!(
-            report.passes(0.005),
-            "p-values: {:?}",
-            report.p_value
-        );
+        assert!(report.passes(0.005), "p-values: {:?}", report.p_value);
         // Residual means should be ~1.
         for r in &report.residuals {
             let mean: f64 = r.iter().sum::<f64>() / r.len() as f64;
@@ -165,8 +153,7 @@ mod tests {
         let mut rng = seeded_rng(54);
         let events = strip_lineage(&simulate_branching(&m, 1500.0, &mut rng));
         // A pure-Poisson model with wrong rates.
-        let wrong =
-            HawkesModel::new(vec![0.05, 0.05], vec![vec![0.0; 2]; 2], 2.0).unwrap();
+        let wrong = HawkesModel::new(vec![0.05, 0.05], vec![vec![0.0; 2]; 2], 2.0).unwrap();
         let report = residual_analysis(&wrong, &events, 1500.0).unwrap();
         assert!(!report.passes(0.01));
     }

@@ -221,12 +221,7 @@ mod tests {
     use meme_stats::seeded_rng;
 
     fn toy() -> HawkesModel {
-        HawkesModel::new(
-            vec![0.4, 0.1],
-            vec![vec![0.3, 0.25], vec![0.05, 0.2]],
-            2.0,
-        )
-        .unwrap()
+        HawkesModel::new(vec![0.4, 0.1], vec![vec![0.3, 0.25], vec![0.05, 0.2]], 2.0).unwrap()
     }
 
     #[test]

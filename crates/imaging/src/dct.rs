@@ -34,9 +34,8 @@ impl Dct2d {
         for k in 0..n {
             let s = if k == 0 { norm0 } else { norm };
             for x in 0..n {
-                basis[k * n + x] =
-                    s * (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * k as f64
-                        / (2.0 * n as f64))
+                basis[k * n + x] = s
+                    * (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * k as f64 / (2.0 * n as f64))
                         .cos();
             }
         }
@@ -173,7 +172,9 @@ mod tests {
     #[test]
     fn roundtrip_exact() {
         let n = 16;
-        let input: Vec<f64> = (0..n * n).map(|i| ((i * 31 + 7) % 97) as f64 / 97.0).collect();
+        let input: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 31 + 7) % 97) as f64 / 97.0)
+            .collect();
         let plan = Dct2d::new(n);
         let back = plan.inverse(&plan.forward(&input));
         for (a, b) in input.iter().zip(&back) {
@@ -219,8 +220,7 @@ mod tests {
                 img[y * n + x] = (std::f64::consts::PI * (2.0 * x as f64 + 1.0) * u as f64
                     / (2.0 * n as f64))
                     .cos()
-                    * (std::f64::consts::PI * (2.0 * y as f64 + 1.0) * v as f64
-                        / (2.0 * n as f64))
+                    * (std::f64::consts::PI * (2.0 * y as f64 + 1.0) * v as f64 / (2.0 * n as f64))
                         .cos();
             }
         }

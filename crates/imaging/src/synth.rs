@@ -54,8 +54,8 @@ impl TemplateGenome {
             .map(|_| {
                 let u = rng.random_range(1..=5usize);
                 let v = rng.random_range(1..=5usize);
-                let amp = rng.random_range(0.35..1.0f64)
-                    * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                let amp =
+                    rng.random_range(0.35..1.0f64) * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
                 let phase = rng.random_range(0.0..std::f64::consts::TAU);
                 (u, v, amp, phase)
             })
@@ -66,8 +66,7 @@ impl TemplateGenome {
                 let mut acc = 0.0f64;
                 for &(u, v, amp, phase) in &modes {
                     let cx = (std::f64::consts::PI * (x as f64 + 0.5) * u as f64 / n).cos();
-                    let cy =
-                        (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n + phase).cos();
+                    let cy = (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n + phase).cos();
                     acc += amp * cx * cy;
                 }
                 img.set(x, y, acc as f32);

@@ -68,7 +68,10 @@ pub fn flip_horizontal(img: &Image) -> Image {
 /// # Panics
 /// Panics unless `0 <= frac < 0.5`.
 pub fn border_crop(img: &Image, frac: f32) -> Image {
-    assert!((0.0..0.5).contains(&frac), "crop fraction must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&frac),
+        "crop fraction must be in [0, 0.5)"
+    );
     let (w, h) = (img.width(), img.height());
     let dx = ((w as f32) * frac) as usize;
     let dy = ((h as f32) * frac) as usize;

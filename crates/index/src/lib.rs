@@ -25,10 +25,12 @@
 
 pub mod bktree;
 pub mod brute;
+pub mod fallback;
 pub mod mih;
 
 pub use bktree::BkTreeIndex;
 pub use brute::BruteForceIndex;
+pub use fallback::{FallbackIndex, IndexEngine, IndexError};
 pub use mih::MihIndex;
 
 use meme_phash::PHash;

@@ -15,7 +15,11 @@ fn hashes_strategy() -> impl Strategy<Value = Vec<PHash>> {
 /// regime for perceptual hashes).
 fn clustered_strategy() -> impl Strategy<Value = Vec<PHash>> {
     prop::collection::vec(
-        (any::<u64>(), prop::collection::vec(0u8..64, 0..6), 1usize..5),
+        (
+            any::<u64>(),
+            prop::collection::vec(0u8..64, 0..6),
+            1usize..5,
+        ),
         1..20,
     )
     .prop_map(|families| {

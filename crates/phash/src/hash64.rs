@@ -94,9 +94,7 @@ impl FromStr for PHash {
         }
         let mut bits = 0u64;
         for c in s.chars() {
-            let d = c
-                .to_digit(16)
-                .ok_or(Hash64ParseError::BadDigit(c))? as u64;
+            let d = c.to_digit(16).ok_or(Hash64ParseError::BadDigit(c))? as u64;
             bits = (bits << 4) | d;
         }
         Ok(Self(bits))
@@ -143,10 +141,7 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(
-            "abc".parse::<PHash>(),
-            Err(Hash64ParseError::BadLength(3))
-        );
+        assert_eq!("abc".parse::<PHash>(), Err(Hash64ParseError::BadLength(3)));
         assert_eq!(
             "g5352b0b8d8b5b53".parse::<PHash>(),
             Err(Hash64ParseError::BadDigit('g'))

@@ -283,7 +283,10 @@ mod tests {
             for _ in 0..5 {
                 let img = v.render_jittered(64, &photometric, &mut rng);
                 let d = canon.distance(h.hash(&img));
-                assert!(d <= 8, "template {seed}: photometric jitter moved hash by {d}");
+                assert!(
+                    d <= 8,
+                    "template {seed}: photometric jitter moved hash by {d}"
+                );
             }
         }
     }

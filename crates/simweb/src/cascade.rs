@@ -73,9 +73,7 @@ impl CascadeConfig {
         if spec.group == MemeGroup::Political {
             // Gaussian bumps around the election (all communities) and
             // the debate (Twitter-heavy, matching Fig. 8c).
-            let bump = |center: f64, width: f64| -> f64 {
-                (-((t - center) / width).powi(2)).exp()
-            };
+            let bump = |center: f64, width: f64| -> f64 { (-((t - center) / width).powi(2)).exp() };
             m += self.political_boost * bump(self.election_day, 12.0);
             if community == Community::Twitter {
                 m += self.political_boost * bump(self.debate_day, 5.0);

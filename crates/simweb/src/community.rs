@@ -72,8 +72,7 @@ impl Community {
     /// The three fringe communities whose images seed the clustering
     /// (§3.3: "/pol/, The Donald subreddit, and Gab, as we treat them as
     /// fringe Web communities").
-    pub const FRINGE: [Community; 3] =
-        [Community::Pol, Community::TheDonald, Community::Gab];
+    pub const FRINGE: [Community; 3] = [Community::Pol, Community::TheDonald, Community::Gab];
 
     /// Whether this community is a clustering seed.
     pub fn is_fringe(self) -> bool {
@@ -236,10 +235,9 @@ impl CommunityProfile {
                     mu -= 0.5;
                 }
             }
-            Community::Gab
-                if racist => {
-                    mu -= 0.9;
-                }
+            Community::Gab if racist => {
+                mu -= 0.9;
+            }
             _ => {}
         }
         let d = LogNormal::new(mu, self.score_sigma.max(1e-6)).expect("valid score model");
@@ -324,7 +322,10 @@ mod tests {
         let mut rng = seeded_rng(5);
         let mean = |p: &CommunityProfile, pol: bool, rac: bool, rng: &mut _| -> f64 {
             let n = 4000;
-            (0..n).map(|_| p.draw_score(pol, rac, rng) as f64).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| p.draw_score(pol, rac, rng) as f64)
+                .sum::<f64>()
+                / n as f64
         };
         // Reddit: political > non-political; racist < non-racist.
         assert!(mean(reddit, true, false, &mut rng) > mean(reddit, false, false, &mut rng));

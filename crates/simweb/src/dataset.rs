@@ -54,6 +54,10 @@ pub enum ImageRef {
         /// Family seed: posts sharing it show the same screenshot.
         family_seed: u64,
     },
+    /// An all-zero image (fault injection: every blank post hashes to
+    /// the same pHash, the pathological duplicate workload that breaks
+    /// multi-index hashing's candidate pruning).
+    Blank,
 }
 
 /// One image post.
@@ -97,7 +101,7 @@ impl Post {
         match self.image {
             ImageRef::MemeVariant { meme, .. } => Some(PostTruth::Meme(meme)),
             ImageRef::Screenshot { .. } => Some(PostTruth::Screenshot),
-            ImageRef::OneOff { .. } => None,
+            ImageRef::OneOff { .. } | ImageRef::Blank => None,
         }
     }
 
@@ -105,7 +109,7 @@ impl Post {
     pub fn true_variant(&self) -> Option<(usize, usize)> {
         match self.image {
             ImageRef::MemeVariant { meme, variant, .. } => Some((meme, variant)),
-            ImageRef::OneOff { .. } | ImageRef::Screenshot { .. } => None,
+            ImageRef::OneOff { .. } | ImageRef::Screenshot { .. } | ImageRef::Blank => None,
         }
     }
 }
@@ -261,18 +265,15 @@ impl Dataset {
         let subreddit_weights_political = [30.0, 4.0, 2.0, 8.0, 2.0, 2.5, 6.0, 2.0, 1.5, 1.5];
         let subreddit_weights_racist = [18.0, 4.5, 3.5, 1.0, 3.0, 2.0, 0.5, 1.5, 1.0, 4.0];
         let subreddit_weights_neutral = [10.0, 8.0, 5.0, 1.5, 4.0, 3.0, 1.0, 2.5, 2.0, 1.0];
-        let sub_political =
-            Categorical::new(&subreddit_weights_political).expect("valid weights");
+        let sub_political = Categorical::new(&subreddit_weights_political).expect("valid weights");
         let sub_racist = Categorical::new(&subreddit_weights_racist).expect("valid weights");
         let sub_neutral = Categorical::new(&subreddit_weights_neutral).expect("valid weights");
 
         let mut jitter_counter = 0u64;
         for spec in &universe.specs {
-            let mut cascade_rng =
-                seeded_rng(child_seed(seed, 0xCA5C_0000 + spec.id as u64));
+            let mut cascade_rng = seeded_rng(child_seed(seed, 0xCA5C_0000 + spec.id as u64));
             for variant in 0..spec.variants.len() {
-                let events =
-                    generate_cascade(spec, variant, &config.cascade, &mut cascade_rng);
+                let events = generate_cascade(spec, variant, &config.cascade, &mut cascade_rng);
                 for e in events {
                     jitter_counter += 1;
                     let (community, subreddit) = match e.community {
@@ -495,6 +496,7 @@ impl Dataset {
                 let mut rng = seeded_rng(family_seed);
                 render_screenshot(platform.to_source(), IMAGE_SIZE, &mut rng)
             }
+            ImageRef::Blank => Image::filled(IMAGE_SIZE, IMAGE_SIZE, 0.0),
         }
     }
 
@@ -585,11 +587,7 @@ mod tests {
     fn every_community_posts() {
         let d = tiny();
         for c in Community::ALL {
-            assert!(
-                d.posts_of(c).count() > 0,
-                "{} has no image posts",
-                c.name()
-            );
+            assert!(d.posts_of(c).count() > 0, "{} has no image posts", c.name());
             assert!(d.total_posts(c) > 0);
         }
     }
@@ -659,10 +657,14 @@ mod tests {
                     assert!(p.true_variant().is_none());
                     assert!(p.community.is_fringe());
                 }
+                ImageRef::Blank => panic!("generator never emits blank images"),
             }
         }
         assert!(memes > 100, "meme posts {memes}");
-        assert!(oneoffs > memes, "one-offs {oneoffs} must dominate memes {memes}");
+        assert!(
+            oneoffs > memes,
+            "one-offs {oneoffs} must dominate memes {memes}"
+        );
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Fault injection — deterministic corruption of a generated dataset.
+//!
+//! Real crawls are dirty: timestamps go missing or non-sensical, vote
+//! scores overflow, KYM galleries come back empty, the same stock image
+//! floods a board, cascades die after one post. A [`FaultSpec`]
+//! reproduces those pathologies *deterministically* (seeded, so chaos
+//! tests are replayable) against a clean [`Dataset`], and the chaos
+//! suite asserts the pipeline completes with degradation records
+//! instead of panicking.
+//!
+//! Each knob is a fraction in `[0, 1]` of the eligible population;
+//! [`FaultSpec::apply`] mutates the dataset in place and returns a
+//! [`FaultReport`] counting what was actually corrupted.
+
+use crate::dataset::{Dataset, ImageRef};
+use meme_stats::{child_seed, seeded_rng};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic corruption recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed for all corruption draws.
+    pub seed: u64,
+    /// Fraction of posts whose timestamp becomes NaN.
+    pub nan_times: f64,
+    /// Fraction of scored posts whose score becomes ±(i64 extreme).
+    pub absurd_scores: f64,
+    /// Fraction of KYM entries whose gallery is emptied.
+    pub empty_galleries: f64,
+    /// Fraction of fringe posts replaced by one shared image (a
+    /// duplicate flood: one pHash dominating the corpus).
+    pub duplicate_images: f64,
+    /// Fraction of fringe posts replaced by all-zero images.
+    pub blank_images: f64,
+    /// Fraction of memes starved down to a single-post cascade.
+    pub truncate_memes: f64,
+    /// Fraction of memes whose posts are removed entirely (empty
+    /// cascades: the KYM entry exists, the event stream does not).
+    pub drop_memes: f64,
+    /// Multiplier on every timestamp (1.0 = off). Values near zero
+    /// compress all cascades into a burst, pushing Hawkes fits toward
+    /// the critical regime.
+    pub time_compression: f64,
+}
+
+impl FaultSpec {
+    /// A spec that corrupts nothing.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_times: 0.0,
+            absurd_scores: 0.0,
+            empty_galleries: 0.0,
+            duplicate_images: 0.0,
+            blank_images: 0.0,
+            truncate_memes: 0.0,
+            drop_memes: 0.0,
+            time_compression: 1.0,
+        }
+    }
+
+    /// NaN timestamps on a tenth of all posts.
+    pub fn nan_storm(seed: u64) -> Self {
+        Self {
+            nan_times: 0.1,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Every vote score pinned to an i64 extreme.
+    pub fn score_garbage(seed: u64) -> Self {
+        Self {
+            absurd_scores: 1.0,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Most KYM galleries come back empty.
+    pub fn gallery_wipe(seed: u64) -> Self {
+        Self {
+            empty_galleries: 0.7,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// One image floods most of the fringe boards.
+    pub fn duplicate_flood(seed: u64) -> Self {
+        Self {
+            duplicate_images: 0.7,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Most fringe images render all-zero.
+    pub fn blank_flood(seed: u64) -> Self {
+        Self {
+            blank_images: 0.7,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Most cascades starved to a single event; some erased outright.
+    pub fn cascade_starvation(seed: u64) -> Self {
+        Self {
+            truncate_memes: 0.8,
+            drop_memes: 0.1,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// All activity compressed into 2% of the horizon.
+    pub fn time_crunch(seed: u64) -> Self {
+        Self {
+            time_compression: 0.02,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Corrupt the dataset in place; returns what was done.
+    pub fn apply(&self, dataset: &mut Dataset) -> FaultReport {
+        let mut report = FaultReport::default();
+
+        if self.nan_times > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 1));
+            for p in &mut dataset.posts {
+                if rng.random_bool(self.nan_times) {
+                    p.t = f64::NAN;
+                    report.nan_times += 1;
+                }
+            }
+        }
+
+        if self.absurd_scores > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 2));
+            let mut flip = false;
+            for p in &mut dataset.posts {
+                let Some(score) = p.score.as_mut() else {
+                    continue;
+                };
+                if rng.random_bool(self.absurd_scores) {
+                    // Alternate extremes; MIN + 1 so that `-score` and
+                    // `abs()` downstream cannot overflow either.
+                    *score = if flip { i64::MIN + 1 } else { i64::MAX };
+                    flip = !flip;
+                    report.absurd_scores += 1;
+                }
+            }
+        }
+
+        if self.empty_galleries > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 3));
+            for e in &mut dataset.kym_raw.entries {
+                if rng.random_bool(self.empty_galleries) {
+                    e.images.clear();
+                    report.emptied_galleries += 1;
+                }
+            }
+        }
+
+        if self.duplicate_images > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 4));
+            // Every flooded post shares one template seed, so all of
+            // them render (and hash) identically.
+            let shared = ImageRef::OneOff {
+                seed: child_seed(self.seed, 0xD0_B1E5),
+            };
+            for p in &mut dataset.posts {
+                if p.community.is_fringe() && rng.random_bool(self.duplicate_images) {
+                    p.image = shared;
+                    p.true_root = None;
+                    report.duplicated_images += 1;
+                }
+            }
+        }
+
+        if self.blank_images > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 5));
+            for p in &mut dataset.posts {
+                if p.community.is_fringe() && rng.random_bool(self.blank_images) {
+                    p.image = ImageRef::Blank;
+                    p.true_root = None;
+                    report.blanked_images += 1;
+                }
+            }
+        }
+
+        if self.truncate_memes > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 6));
+            let n_memes = dataset.universe.specs.len();
+            let starved: Vec<bool> = (0..n_memes)
+                .map(|_| rng.random_bool(self.truncate_memes))
+                .collect();
+            report.starved_memes = starved.iter().filter(|&&s| s).count();
+            // Posts are time-sorted, so the first post seen for a
+            // starved meme is its cascade root; drop the rest.
+            let mut seen = vec![false; n_memes];
+            dataset.posts.retain(|p| match p.image {
+                ImageRef::MemeVariant { meme, .. } if starved[meme] => {
+                    let keep = !seen[meme];
+                    seen[meme] = true;
+                    keep
+                }
+                _ => true,
+            });
+            for (i, p) in dataset.posts.iter_mut().enumerate() {
+                p.id = i;
+            }
+        }
+
+        if self.drop_memes > 0.0 {
+            let mut rng = seeded_rng(child_seed(self.seed, 7));
+            let n_memes = dataset.universe.specs.len();
+            let dropped: Vec<bool> = (0..n_memes)
+                .map(|_| rng.random_bool(self.drop_memes))
+                .collect();
+            report.dropped_memes = dropped.iter().filter(|&&d| d).count();
+            dataset.posts.retain(|p| match p.image {
+                ImageRef::MemeVariant { meme, .. } => !dropped[meme],
+                _ => true,
+            });
+            for (i, p) in dataset.posts.iter_mut().enumerate() {
+                p.id = i;
+            }
+        }
+
+        if self.time_compression != 1.0 {
+            for p in &mut dataset.posts {
+                p.t *= self.time_compression;
+            }
+            report.time_compressed = true;
+        }
+
+        report
+    }
+}
+
+/// What [`FaultSpec::apply`] actually corrupted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Posts whose timestamp became NaN.
+    pub nan_times: usize,
+    /// Posts whose score was pinned to an extreme.
+    pub absurd_scores: usize,
+    /// KYM entries whose gallery was emptied.
+    pub emptied_galleries: usize,
+    /// Fringe posts replaced by the shared duplicate image.
+    pub duplicated_images: usize,
+    /// Fringe posts replaced by blank images.
+    pub blanked_images: usize,
+    /// Memes starved to single-post cascades.
+    pub starved_memes: usize,
+    /// Memes whose posts were removed entirely.
+    pub dropped_memes: usize,
+    /// Whether the timeline was compressed.
+    pub time_compressed: bool,
+}
+
+impl FaultReport {
+    /// Whether any corruption was applied.
+    pub fn any(&self) -> bool {
+        self.nan_times > 0
+            || self.absurd_scores > 0
+            || self.emptied_galleries > 0
+            || self.duplicated_images > 0
+            || self.blanked_images > 0
+            || self.starved_memes > 0
+            || self.dropped_memes > 0
+            || self.time_compressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SimConfig;
+
+    fn tiny() -> Dataset {
+        SimConfig::tiny(41).generate()
+    }
+
+    #[test]
+    fn clean_spec_is_identity() {
+        let mut d = tiny();
+        let before = d.posts.clone();
+        let report = FaultSpec::clean(7).apply(&mut d);
+        assert!(!report.any());
+        assert_eq!(before, d.posts);
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let mut a = tiny();
+        let mut b = tiny();
+        let ra = FaultSpec::nan_storm(9).apply(&mut a);
+        let rb = FaultSpec::nan_storm(9).apply(&mut b);
+        assert_eq!(ra, rb);
+        let na: Vec<usize> = a
+            .posts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.t.is_nan())
+            .map(|(i, _)| i)
+            .collect();
+        let nb: Vec<usize> = b
+            .posts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.t.is_nan())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(na, nb);
+        assert!(!na.is_empty());
+    }
+
+    #[test]
+    fn nan_storm_hits_roughly_the_requested_fraction() {
+        let mut d = tiny();
+        let n = d.posts.len();
+        let report = FaultSpec::nan_storm(5).apply(&mut d);
+        let frac = report.nan_times as f64 / n as f64;
+        assert!((0.05..0.2).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn duplicate_flood_shares_one_image() {
+        let mut d = tiny();
+        let report = FaultSpec::duplicate_flood(5).apply(&mut d);
+        assert!(report.duplicated_images > 0);
+        let mut seeds: Vec<u64> = d
+            .posts
+            .iter()
+            .filter_map(|p| match p.image {
+                ImageRef::OneOff { seed } => Some(seed),
+                _ => None,
+            })
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        // The shared seed plus the generator's own one-offs.
+        let shared = child_seed(5, 0xD0_B1E5);
+        assert!(seeds.contains(&shared));
+        let count = d
+            .posts
+            .iter()
+            .filter(|p| p.image == ImageRef::OneOff { seed: shared })
+            .count();
+        assert_eq!(count, report.duplicated_images);
+    }
+
+    #[test]
+    fn blank_posts_render_all_zero() {
+        let mut d = tiny();
+        let report = FaultSpec::blank_flood(5).apply(&mut d);
+        assert!(report.blanked_images > 0);
+        let blank = d
+            .posts
+            .iter()
+            .find(|p| p.image == ImageRef::Blank)
+            .expect("a blank post");
+        let img = d.render_post_image(blank);
+        assert!(img.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cascade_starvation_leaves_single_event_cascades() {
+        let mut d = tiny();
+        let before = d.posts.len();
+        let report = FaultSpec::cascade_starvation(5).apply(&mut d);
+        assert!(report.starved_memes > 0);
+        assert!(report.dropped_memes > 0);
+        assert!(d.posts.len() < before);
+        // Dropped memes vanish from the corpus: fewer distinct memes
+        // retain posts than the universe defines.
+        let with_posts: std::collections::HashSet<usize> = d
+            .posts
+            .iter()
+            .filter_map(|p| match p.image {
+                ImageRef::MemeVariant { meme, .. } => Some(meme),
+                _ => None,
+            })
+            .collect();
+        assert!(with_posts.len() + report.dropped_memes <= d.universe.specs.len());
+        // Ids were reindexed.
+        for (i, p) in d.posts.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+        // Starved memes really have one post each: count per meme and
+        // check the overall distribution still contains singletons.
+        let mut per_meme = std::collections::HashMap::new();
+        for p in &d.posts {
+            if let ImageRef::MemeVariant { meme, .. } = p.image {
+                *per_meme.entry(meme).or_insert(0usize) += 1;
+            }
+        }
+        let singles = per_meme.values().filter(|&&c| c == 1).count();
+        assert!(singles >= report.starved_memes.min(per_meme.len()) / 2);
+    }
+
+    #[test]
+    fn score_garbage_pins_every_score() {
+        let mut d = tiny();
+        let report = FaultSpec::score_garbage(5).apply(&mut d);
+        assert!(report.absurd_scores > 0);
+        for p in &d.posts {
+            if let Some(s) = p.score {
+                assert!(s == i64::MAX || s == i64::MIN + 1, "score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallery_wipe_empties_most_entries() {
+        let mut d = tiny();
+        let total = d.kym_raw.entries.len();
+        let report = FaultSpec::gallery_wipe(5).apply(&mut d);
+        assert!(report.emptied_galleries > total / 2);
+        let empty = d
+            .kym_raw
+            .entries
+            .iter()
+            .filter(|e| e.images.is_empty())
+            .count();
+        assert!(empty >= report.emptied_galleries);
+    }
+
+    #[test]
+    fn time_crunch_compresses_the_horizon() {
+        let mut d = tiny();
+        let max_before = d.posts.iter().map(|p| p.t).fold(0.0f64, f64::max);
+        FaultSpec::time_crunch(5).apply(&mut d);
+        let max_after = d.posts.iter().map(|p| p.t).fold(0.0f64, f64::max);
+        assert!(max_after < max_before * 0.05);
+    }
+}

@@ -123,8 +123,7 @@ pub fn generate_kym(universe: &Universe, config: &KymGenConfig, seed: u64) -> Ra
     for spec in universe.specs.iter().filter(|s| s.catalogued) {
         let mut images = Vec::new();
         // Gallery size scales with popularity (Fig. 4b heavy tail).
-        let per_variant =
-            (config.images_per_variant * (0.5 + spec.popularity)).ceil() as usize;
+        let per_variant = (config.images_per_variant * (0.5 + spec.popularity)).ceil() as usize;
         for (v, _) in spec.variants.iter().enumerate() {
             for _ in 0..per_variant.max(1) {
                 images.push(GalleryImage::Variant {
@@ -173,8 +172,13 @@ pub fn generate_kym(universe: &Universe, config: &KymGenConfig, seed: u64) -> Ra
             }
         }
         // Screenshot noise.
-        let n_shots = ((images.len() as f64 * config.screenshot_fraction).round() as usize)
-            .max(if config.screenshot_fraction > 0.0 { 1 } else { 0 });
+        let n_shots = ((images.len() as f64 * config.screenshot_fraction).round() as usize).max(
+            if config.screenshot_fraction > 0.0 {
+                1
+            } else {
+                0
+            },
+        );
         for _ in 0..n_shots {
             let platform = SourcePlatform::ALL[rng.random_range(0..SourcePlatform::ALL.len())];
             images.push(GalleryImage::Screenshot {
@@ -331,7 +335,10 @@ mod tests {
                 _ => None,
             })
             .count();
-        assert!(foreign_memes > 0, "frog gallery should include sibling frogs");
+        assert!(
+            foreign_memes > 0,
+            "frog gallery should include sibling frogs"
+        );
     }
 
     #[test]

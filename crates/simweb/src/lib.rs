@@ -30,11 +30,13 @@
 pub mod cascade;
 pub mod community;
 pub mod dataset;
+pub mod fault;
 pub mod kymgen;
 pub mod universe;
 
 pub use cascade::{generate_cascade, CascadeConfig, CascadeEvent};
 pub use community::{Community, CommunityProfile, ScreenshotPlatform, SUBREDDITS};
 pub use dataset::{Dataset, ImageRef, Post, PostTruth, SimConfig, SimScale, IMAGE_SIZE};
+pub use fault::{FaultReport, FaultSpec};
 pub use kymgen::{generate_kym, GalleryImage, KymGenConfig, RawKymEntry, RawKymSite};
 pub use universe::{MemeGroup, MemeSpec, Universe, UniverseConfig};

@@ -46,80 +46,556 @@ struct CatalogRow {
 /// Curated entries drawn from Tables 3–5 of the paper.
 const CATALOG: &[CatalogRow] = &[
     // --- Frog family and fringe memes.
-    CatalogRow { name: "Feels Bad Man/Sad Frog", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Smug Frog", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Pepe the Frog", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Apu Apustaja", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Angry Pepe", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Happy Merchant", category: KymCategory::Meme, tags: &["antisemitism"], origin: "4chan", group: MemeGroup::Racist, mainstream: false },
-    CatalogRow { name: "A. Wyatt Mann", category: KymCategory::Meme, tags: &["racism"], origin: "4chan", group: MemeGroup::Racist, mainstream: false },
-    CatalogRow { name: "Serbia Strong/Remove Kebab", category: KymCategory::Meme, tags: &["racism"], origin: "Youtube", group: MemeGroup::Racist, mainstream: false },
-    CatalogRow { name: "Cult of Kek", category: KymCategory::Meme, tags: &["frog", "pepe"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Bait This Is Bait", category: KymCategory::Meme, tags: &["reaction"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "I Know That Feel Bro", category: KymCategory::Meme, tags: &["wojak"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Wojak/Feels Guy", category: KymCategory::Meme, tags: &["wojak"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Spurdo Sparde", category: KymCategory::Meme, tags: &["reaction"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Dubs Guy/Check'em", category: KymCategory::Meme, tags: &["reaction"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Counter Signal Memes", category: KymCategory::Meme, tags: &["politics"], origin: "4chan", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Computer Reaction Faces", category: KymCategory::Meme, tags: &["reaction"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Reaction Images", category: KymCategory::Meme, tags: &["reaction"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Absolutely Disgusting", category: KymCategory::Meme, tags: &["reaction"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Laughing Tom Cruise", category: KymCategory::Meme, tags: &["reaction"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Awoo", category: KymCategory::Meme, tags: &["anime"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Doom Paul It's Happening", category: KymCategory::Meme, tags: &["politics"], origin: "4chan", group: MemeGroup::Political, mainstream: false },
+    CatalogRow {
+        name: "Feels Bad Man/Sad Frog",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Smug Frog",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Pepe the Frog",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Apu Apustaja",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Angry Pepe",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Happy Merchant",
+        category: KymCategory::Meme,
+        tags: &["antisemitism"],
+        origin: "4chan",
+        group: MemeGroup::Racist,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "A. Wyatt Mann",
+        category: KymCategory::Meme,
+        tags: &["racism"],
+        origin: "4chan",
+        group: MemeGroup::Racist,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Serbia Strong/Remove Kebab",
+        category: KymCategory::Meme,
+        tags: &["racism"],
+        origin: "Youtube",
+        group: MemeGroup::Racist,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Cult of Kek",
+        category: KymCategory::Meme,
+        tags: &["frog", "pepe"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Bait This Is Bait",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "I Know That Feel Bro",
+        category: KymCategory::Meme,
+        tags: &["wojak"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Wojak/Feels Guy",
+        category: KymCategory::Meme,
+        tags: &["wojak"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Spurdo Sparde",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Dubs Guy/Check'em",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Counter Signal Memes",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "4chan",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Computer Reaction Faces",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Reaction Images",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Absolutely Disgusting",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Laughing Tom Cruise",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Awoo",
+        category: KymCategory::Meme,
+        tags: &["anime"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Doom Paul It's Happening",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "4chan",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
     // --- Political memes.
-    CatalogRow { name: "Make America Great Again", category: KymCategory::Meme, tags: &["trump", "politics"], origin: "Twitter", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Clinton Trump Duet", category: KymCategory::Meme, tags: &["clinton", "trump"], origin: "Twitter", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Donald Trump's Wall", category: KymCategory::Meme, tags: &["trump", "politics"], origin: "Reddit", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Jesusland", category: KymCategory::Meme, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Based Stickman", category: KymCategory::Meme, tags: &["politics"], origin: "Twitter", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Picardia", category: KymCategory::Meme, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Kekistan", category: KymCategory::Meme, tags: &["politics"], origin: "4chan", group: MemeGroup::Political, mainstream: false },
+    CatalogRow {
+        name: "Make America Great Again",
+        category: KymCategory::Meme,
+        tags: &["trump", "politics"],
+        origin: "Twitter",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Clinton Trump Duet",
+        category: KymCategory::Meme,
+        tags: &["clinton", "trump"],
+        origin: "Twitter",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Donald Trump's Wall",
+        category: KymCategory::Meme,
+        tags: &["trump", "politics"],
+        origin: "Reddit",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Jesusland",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Based Stickman",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "Twitter",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Picardia",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Kekistan",
+        category: KymCategory::Meme,
+        tags: &["politics"],
+        origin: "4chan",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
     // --- Mainstream memes.
-    CatalogRow { name: "Roll Safe", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Evil Kermit", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Arthur's Fist", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Nut Button", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Spongebob Mock", category: KymCategory::Meme, tags: &["spongebob"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Expanding Brain", category: KymCategory::Meme, tags: &["reaction"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Manning Face", category: KymCategory::Meme, tags: &["reaction"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "That's the Joke", category: KymCategory::Meme, tags: &["reaction"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Confession Bear", category: KymCategory::Meme, tags: &["advice animal"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "This is Fine", category: KymCategory::Meme, tags: &["reaction"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Demotivational Posters", category: KymCategory::Meme, tags: &["image macro"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Rage Guy", category: KymCategory::Meme, tags: &["rage comics"], origin: "4chan", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Conceited Reaction", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Salt Bae", category: KymCategory::Meme, tags: &["reaction"], origin: "Twitter", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Harambe the Gorilla", category: KymCategory::Meme, tags: &["reaction"], origin: "Reddit", group: MemeGroup::Neutral, mainstream: true },
+    CatalogRow {
+        name: "Roll Safe",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Evil Kermit",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Arthur's Fist",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Nut Button",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Spongebob Mock",
+        category: KymCategory::Meme,
+        tags: &["spongebob"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Expanding Brain",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Manning Face",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "That's the Joke",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Confession Bear",
+        category: KymCategory::Meme,
+        tags: &["advice animal"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "This is Fine",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Demotivational Posters",
+        category: KymCategory::Meme,
+        tags: &["image macro"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Rage Guy",
+        category: KymCategory::Meme,
+        tags: &["rage comics"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Conceited Reaction",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Salt Bae",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Twitter",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Harambe the Gorilla",
+        category: KymCategory::Meme,
+        tags: &["reaction"],
+        origin: "Reddit",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
     // --- People (Table 5).
-    CatalogRow { name: "Donald Trump", category: KymCategory::Person, tags: &["trump", "politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Adolf Hitler", category: KymCategory::Person, tags: &["racism", "politics"], origin: "Unknown", group: MemeGroup::Racist, mainstream: false },
-    CatalogRow { name: "Hillary Clinton", category: KymCategory::Person, tags: &["clinton", "politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Bernie Sanders", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Vladimir Putin", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Barack Obama", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Kim Jong Un", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Mitt Romney", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Bill Nye", category: KymCategory::Person, tags: &["science"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Chelsea Manning", category: KymCategory::Person, tags: &["politics"], origin: "Unknown", group: MemeGroup::Political, mainstream: true },
+    CatalogRow {
+        name: "Donald Trump",
+        category: KymCategory::Person,
+        tags: &["trump", "politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Adolf Hitler",
+        category: KymCategory::Person,
+        tags: &["racism", "politics"],
+        origin: "Unknown",
+        group: MemeGroup::Racist,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Hillary Clinton",
+        category: KymCategory::Person,
+        tags: &["clinton", "politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Bernie Sanders",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Vladimir Putin",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Barack Obama",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Kim Jong Un",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Mitt Romney",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Bill Nye",
+        category: KymCategory::Person,
+        tags: &["science"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Chelsea Manning",
+        category: KymCategory::Person,
+        tags: &["politics"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
     // --- Events.
-    CatalogRow { name: "#CNNBlackmail", category: KymCategory::Event, tags: &["politics", "trump"], origin: "Reddit", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "2016 US Election", category: KymCategory::Event, tags: &["politics", "presidential election"], origin: "Unknown", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Brexit", category: KymCategory::Event, tags: &["politics"], origin: "Twitter", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "#TrumpAnime/Rick Wilson", category: KymCategory::Event, tags: &["politics", "trump"], origin: "Twitter", group: MemeGroup::Political, mainstream: false },
-    CatalogRow { name: "Gamergate", category: KymCategory::Event, tags: &["controversy"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
+    CatalogRow {
+        name: "#CNNBlackmail",
+        category: KymCategory::Event,
+        tags: &["politics", "trump"],
+        origin: "Reddit",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "2016 US Election",
+        category: KymCategory::Event,
+        tags: &["politics", "presidential election"],
+        origin: "Unknown",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Brexit",
+        category: KymCategory::Event,
+        tags: &["politics"],
+        origin: "Twitter",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "#TrumpAnime/Rick Wilson",
+        category: KymCategory::Event,
+        tags: &["politics", "trump"],
+        origin: "Twitter",
+        group: MemeGroup::Political,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Gamergate",
+        category: KymCategory::Event,
+        tags: &["controversy"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
     // --- Sites.
-    CatalogRow { name: "/pol/", category: KymCategory::Site, tags: &["4chan"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Know Your Meme", category: KymCategory::Site, tags: &["meme database"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Tumblr", category: KymCategory::Site, tags: &["social network"], origin: "Tumblr", group: MemeGroup::Neutral, mainstream: true },
+    CatalogRow {
+        name: "/pol/",
+        category: KymCategory::Site,
+        tags: &["4chan"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Know Your Meme",
+        category: KymCategory::Site,
+        tags: &["meme database"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Tumblr",
+        category: KymCategory::Site,
+        tags: &["social network"],
+        origin: "Tumblr",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
     // --- Cultures & subcultures.
-    CatalogRow { name: "Alt-Right", category: KymCategory::Culture, tags: &["politics", "racism"], origin: "4chan", group: MemeGroup::Racist, mainstream: false },
-    CatalogRow { name: "Feminism", category: KymCategory::Culture, tags: &["politics"], origin: "Tumblr", group: MemeGroup::Political, mainstream: true },
-    CatalogRow { name: "Trolling", category: KymCategory::Culture, tags: &["behavior"], origin: "4chan", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "Rage Comics", category: KymCategory::Subculture, tags: &["comics"], origin: "4chan", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Spongebob Squarepants", category: KymCategory::Subculture, tags: &["cartoon"], origin: "Youtube", group: MemeGroup::Neutral, mainstream: true },
-    CatalogRow { name: "Warhammer 40000", category: KymCategory::Subculture, tags: &["games"], origin: "Unknown", group: MemeGroup::Neutral, mainstream: false },
-    CatalogRow { name: "rwby", category: KymCategory::Subculture, tags: &["anime"], origin: "Youtube", group: MemeGroup::Neutral, mainstream: false },
+    CatalogRow {
+        name: "Alt-Right",
+        category: KymCategory::Culture,
+        tags: &["politics", "racism"],
+        origin: "4chan",
+        group: MemeGroup::Racist,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Feminism",
+        category: KymCategory::Culture,
+        tags: &["politics"],
+        origin: "Tumblr",
+        group: MemeGroup::Political,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Trolling",
+        category: KymCategory::Culture,
+        tags: &["behavior"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "Rage Comics",
+        category: KymCategory::Subculture,
+        tags: &["comics"],
+        origin: "4chan",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Spongebob Squarepants",
+        category: KymCategory::Subculture,
+        tags: &["cartoon"],
+        origin: "Youtube",
+        group: MemeGroup::Neutral,
+        mainstream: true,
+    },
+    CatalogRow {
+        name: "Warhammer 40000",
+        category: KymCategory::Subculture,
+        tags: &["games"],
+        origin: "Unknown",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
+    CatalogRow {
+        name: "rwby",
+        category: KymCategory::Subculture,
+        tags: &["anime"],
+        origin: "Youtube",
+        group: MemeGroup::Neutral,
+        mainstream: false,
+    },
 ];
 
 /// A fully specified meme (or meme-like image family).
@@ -220,8 +696,8 @@ impl Universe {
         // filler specs get moderate uniform popularity so they form real
         // clusters (the un-annotated mass) rather than noise.
         let curated_count = CATALOG.len().min((config.n_memes / 8).max(8));
-        let zipf = Zipf::new(curated_count, config.popularity_exponent)
-            .expect("valid Zipf parameters");
+        let zipf =
+            Zipf::new(curated_count, config.popularity_exponent).expect("valid Zipf parameters");
         let catalog_order = catalog_priority_order();
 
         let mut specs = Vec::with_capacity(config.n_memes);
@@ -549,7 +1025,11 @@ mod tests {
         assert!(merchant.catalogued);
         // The priority head covers multiple KYM categories even in a
         // small universe.
-        let curated: Vec<_> = u.specs.iter().filter(|s| !s.name.starts_with("Synthetic")).collect();
+        let curated: Vec<_> = u
+            .specs
+            .iter()
+            .filter(|s| !s.name.starts_with("Synthetic"))
+            .collect();
         assert!(curated.iter().any(|s| s.category == KymCategory::Person));
         assert!(curated.iter().any(|s| s.category == KymCategory::Meme));
         assert!(curated.iter().any(|s| s.category == KymCategory::Event));
@@ -567,11 +1047,7 @@ mod tests {
     fn all_ground_truth_models_are_stationary() {
         let u = small();
         for s in &u.specs {
-            assert!(
-                s.hawkes.is_stationary(),
-                "meme {} is supercritical",
-                s.name
-            );
+            assert!(s.hawkes.is_stationary(), "meme {} is supercritical", s.name);
             assert_eq!(s.hawkes.k(), Community::COUNT);
         }
     }

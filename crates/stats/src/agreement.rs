@@ -26,7 +26,10 @@ pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> Option<f64> {
     if r < 2 {
         return None;
     }
-    if ratings.iter().any(|row| row.len() != k || row.iter().sum::<usize>() != r) {
+    if ratings
+        .iter()
+        .any(|row| row.len() != k || row.iter().sum::<usize>() != r)
+    {
         return None;
     }
 
@@ -103,12 +106,7 @@ mod tests {
     #[test]
     fn fleiss_perfect_agreement_is_one() {
         // 4 subjects, 3 raters, 2 categories, all raters agree.
-        let ratings = vec![
-            vec![3, 0],
-            vec![0, 3],
-            vec![3, 0],
-            vec![0, 3],
-        ];
+        let ratings = vec![vec![3, 0], vec![0, 3], vec![3, 0], vec![0, 3]];
         let k = fleiss_kappa(&ratings).unwrap();
         assert!((k - 1.0).abs() < 1e-12);
     }

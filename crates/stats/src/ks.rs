@@ -92,8 +92,7 @@ pub fn kolmogorov_q(lambda: f64) -> f64 {
         let mut cdf = 0.0;
         for k in 1..=20 {
             let m = (2 * k - 1) as f64;
-            let term =
-                (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
+            let term = (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
             cdf += term;
             if term < 1e-16 {
                 break;

@@ -38,9 +38,7 @@ pub mod timeseries;
 
 pub use agreement::{cohens_kappa, fleiss_kappa};
 pub use describe::Summary;
-pub use dist::{
-    Beta, Categorical, Dirichlet, Exponential, Gamma, LogNormal, Poisson, Zipf,
-};
+pub use dist::{Beta, Categorical, Dirichlet, Exponential, Gamma, LogNormal, Poisson, Zipf};
 pub use ecdf::Ecdf;
 pub use ks::{ks_two_sample, KsResult};
 pub use sets::jaccard;
@@ -71,8 +69,7 @@ pub fn seeded_rng(seed: u64) -> WsRng {
 /// every other stream (a standard trick for variance-controlled
 /// simulation). SplitMix64 finalization gives well-mixed child seeds.
 pub fn child_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -33,7 +33,11 @@ pub fn jaccard_str(a: &[impl AsRef<str>], b: &[impl AsRef<str>]) -> f64 {
 /// used in cluster-graph diagnostics.
 pub fn overlap<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let inter = a.intersection(b).count();
     inter as f64 / a.len().min(b.len()) as f64

@@ -1,7 +1,9 @@
 //! Property-based tests for the statistical substrate.
 
 use meme_stats::agreement::{cohens_kappa, fleiss_kappa};
-use meme_stats::dist::{Categorical, Dirichlet, Exponential, Gamma, LogNormal, Poisson, Zipf};
+use meme_stats::dist::{
+    Beta, Categorical, Dirichlet, Exponential, Gamma, LogNormal, Poisson, Zipf,
+};
 use meme_stats::ks::{kolmogorov_q, ks_two_sample};
 use meme_stats::{seeded_rng, Ecdf};
 use proptest::prelude::*;
@@ -148,5 +150,43 @@ proptest! {
     #[test]
     fn cohens_kappa_self_agreement(labels in prop::collection::vec(0usize..5, 1..100)) {
         prop_assert_eq!(cohens_kappa(&labels, &labels), Some(1.0));
+    }
+
+    // Fault-tolerance contract: constructors must return `Err` on bad
+    // parameters and NEVER panic, for *any* f64 bit pattern (NaN, ±inf,
+    // subnormals, negative zero…). The calls discard their results —
+    // the property under test is "no panic", with Ok/Err both legal.
+    #[test]
+    fn dist_constructors_never_panic(a_bits: u64, b_bits: u64, n in 0usize..300) {
+        let a = f64::from_bits(a_bits);
+        let b = f64::from_bits(b_bits);
+        let _ = Exponential::new(a);
+        let _ = Poisson::new(a);
+        let _ = Zipf::new(n, a);
+        let _ = Gamma::new(a, b);
+        let _ = Beta::new(a, b);
+        let _ = LogNormal::new(a, b);
+        let _ = Dirichlet::symmetric(n, a);
+        let _ = Dirichlet::new(&[a, b]);
+        let _ = Categorical::new(&[a, b]);
+    }
+
+    // …and parameters that are unambiguously invalid (non-finite) are
+    // always rejected with a typed error.
+    #[test]
+    fn non_finite_params_are_typed_errors(sel in 0usize..3) {
+        let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][sel];
+        prop_assert!(Exponential::new(bad).is_err());
+        prop_assert!(Poisson::new(bad).is_err());
+        prop_assert!(Zipf::new(10, bad).is_err());
+        prop_assert!(Gamma::new(bad, 1.0).is_err());
+        prop_assert!(Gamma::new(1.0, bad).is_err());
+        prop_assert!(Beta::new(bad, 1.0).is_err());
+        prop_assert!(Beta::new(1.0, bad).is_err());
+        prop_assert!(LogNormal::new(bad, 1.0).is_err());
+        prop_assert!(LogNormal::new(0.0, bad).is_err());
+        prop_assert!(Dirichlet::symmetric(3, bad).is_err());
+        prop_assert!(Dirichlet::new(&[bad, 1.0]).is_err());
+        prop_assert!(Categorical::new(&[bad, 1.0]).is_err());
     }
 }

@@ -22,7 +22,10 @@ fn main() {
         println!("top memes on {}:", community.name());
         let rows = analysis::top_entries_by_posts(&dataset, &output, community, None, 5);
         for row in rows {
-            println!("  {:<28} {:>5} posts ({:.1}%)", row.entry, row.count, row.pct);
+            println!(
+                "  {:<28} {:>5} posts ({:.1}%)",
+                row.entry, row.count, row.pct
+            );
         }
     }
 
@@ -71,6 +74,9 @@ fn main() {
     // --- Subreddits: where do Reddit's memes live? (Table 6)
     println!("\ntop subreddits for meme posts:");
     for row in analysis::table6(&dataset, &output, MemeFilter::All, 5) {
-        println!("  {:<16} {:>5} posts ({:.1}%)", row.subreddit, row.posts, row.pct);
+        println!(
+            "  {:<16} {:>5} posts ({:.1}%)",
+            row.subreddit, row.posts, row.pct
+        );
     }
 }

@@ -68,8 +68,14 @@ fn main() {
         .expect("Gibbs estimation succeeds");
 
     println!("percent of destination events caused by each source (Fig. 11 view):\n");
-    print_matrix("ground truth (simulator lineage)", &truth.percent_of_destination());
-    print_matrix("EM fit + root-cause attribution", &em_fit.total.percent_of_destination());
+    print_matrix(
+        "ground truth (simulator lineage)",
+        &truth.percent_of_destination(),
+    );
+    print_matrix(
+        "EM fit + root-cause attribution",
+        &em_fit.total.percent_of_destination(),
+    );
     print_matrix(
         "Gibbs fit + root-cause attribution",
         &gibbs_fit.total.percent_of_destination(),

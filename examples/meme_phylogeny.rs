@@ -37,7 +37,10 @@ fn main() {
             Community::Gab => "G",
             _ => "?",
         };
-        labels.push(format!("{prefix}@{}", rep.name.to_lowercase().replace(' ', "-")));
+        labels.push(format!(
+            "{prefix}@{}",
+            rep.name.to_lowercase().replace(' ', "-")
+        ));
     }
     println!("{} annotated clusters described", descriptors.len());
 
@@ -57,7 +60,12 @@ fn main() {
             println!(
                 "  family {i}: {} clusters, e.g. {}",
                 family.len(),
-                family.iter().take(4).copied().collect::<Vec<_>>().join(", ")
+                family
+                    .iter()
+                    .take(4)
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
         let _ = Linkage::Average; // the linkage the phylogeny uses

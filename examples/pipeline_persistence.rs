@@ -25,11 +25,7 @@ fn main() {
     let path = std::env::temp_dir().join("memes_pipeline_run.json");
     let json = output.to_json();
     std::fs::write(&path, &json).expect("can write the run");
-    println!(
-        "saved {} ({} KiB)",
-        path.display(),
-        json.len() / 1024
-    );
+    println!("saved {} ({} KiB)", path.display(), json.len() / 1024);
 
     // Later (a different process, in practice): restore and analyze
     // without re-hashing anything.

@@ -34,7 +34,10 @@ fn main() {
         100.0 * output.clustering.noise_fraction()
     );
     let annotated = output.annotated_clusters();
-    println!("annotation: {} clusters matched KYM entries", annotated.len());
+    println!(
+        "annotation: {} clusters matched KYM entries",
+        annotated.len()
+    );
 
     // Inspect the top annotated cluster.
     if let Some(&cluster) = annotated.first() {
@@ -61,11 +64,7 @@ fn main() {
     }
     let best = Community::ALL
         .into_iter()
-        .max_by(|a, b| {
-            ext[a.index()]
-                .partial_cmp(&ext[b.index()])
-                .expect("finite")
-        })
+        .max_by(|a, b| ext[a.index()].partial_cmp(&ext[b.index()]).expect("finite"))
         .expect("non-empty");
     println!("most efficient meme spreader: {}", best.name());
 }

@@ -21,7 +21,10 @@ fn main() {
     for (platform, count) in &corpus.platform_counts {
         println!("  {:<10} {:>5} screenshots", platform.name(), count);
     }
-    println!("  {:<10} {:>5} meme/other images", "other", corpus.other_count);
+    println!(
+        "  {:<10} {:>5} meme/other images",
+        "other", corpus.other_count
+    );
 
     // Train: 2 conv + maxpool blocks, dense, dropout 0.5, Adam — the
     // Appendix-C architecture at 32x32.

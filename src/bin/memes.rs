@@ -3,17 +3,23 @@
 //! ```text
 //! memes simulate --scale small --seed 7 --out dataset.json
 //! memes run      --scale small --seed 7 --out run.json [--train-filter]
+//!                [--checkpoint ckpt.json]
+//! memes resume   --scale small --seed 7 --checkpoint ckpt.json [--out run.json]
 //! memes influence --scale small --seed 7
 //! memes graph    --scale small --seed 7 --out fig7.dot
 //! ```
 //!
 //! Every subcommand regenerates the (deterministic) dataset from its
 //! seed, so no intermediate file is ever required; `--out` writes the
-//! artifact for external tooling.
+//! artifact for external tooling. `run --checkpoint` snapshots progress
+//! after every stage, and `resume` picks a killed run up from the last
+//! completed stage (the checkpoint is validated against the dataset and
+//! configuration before being honoured).
 
 use origins_of_memes::core::graph::{ClusterGraph, GraphConfig};
 use origins_of_memes::core::metric::ClusterDistance;
 use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
+use origins_of_memes::core::runner::{PipelineRunner, RunnerOutcome};
 use origins_of_memes::hawkes::InfluenceEstimator;
 use origins_of_memes::simweb::{Community, SimConfig, SimScale};
 use std::process::ExitCode;
@@ -24,6 +30,7 @@ struct Args {
     seed: u64,
     out: Option<String>,
     train_filter: bool,
+    checkpoint: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         out: None,
         train_filter: false,
+        checkpoint: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -59,17 +67,25 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 args.out = Some(argv.get(i).cloned().ok_or("--out needs a path")?);
             }
+            "--checkpoint" => {
+                i += 1;
+                args.checkpoint = Some(argv.get(i).cloned().ok_or("--checkpoint needs a path")?);
+            }
             "--train-filter" => args.train_filter = true,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
+    if args.command == "resume" && args.checkpoint.is_none() {
+        return Err("resume needs --checkpoint PATH".to_string());
+    }
     Ok(args)
 }
 
 fn usage() -> String {
-    "usage: memes <simulate|run|influence|graph> \
-     [--scale tiny|small|default] [--seed N] [--out PATH] [--train-filter]"
+    "usage: memes <simulate|run|resume|influence|graph> \
+     [--scale tiny|small|default] [--seed N] [--out PATH] \
+     [--checkpoint PATH] [--train-filter]"
         .to_string()
 }
 
@@ -86,7 +102,7 @@ fn main() -> ExitCode {
     };
     if !matches!(
         args.command.as_str(),
-        "simulate" | "run" | "influence" | "graph"
+        "simulate" | "run" | "resume" | "influence" | "graph"
     ) {
         eprintln!("unknown command {}", args.command);
         eprintln!("{}", usage());
@@ -115,7 +131,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        cmd @ ("run" | "influence" | "graph") => {
+        cmd @ ("run" | "resume" | "influence" | "graph") => {
             let config = PipelineConfig {
                 screenshot_filter: if args.train_filter {
                     ScreenshotFilterMode::Train {
@@ -127,8 +143,21 @@ fn main() -> ExitCode {
                 },
                 ..PipelineConfig::default()
             };
-            let output = match Pipeline::new(config).run(&dataset) {
-                Ok(o) => o,
+            let mut runner = PipelineRunner::new(Pipeline::new(config));
+            if let Some(path) = &args.checkpoint {
+                runner = runner.with_checkpoint(path);
+            }
+            let result = if cmd == "resume" {
+                runner.resume(&dataset)
+            } else {
+                runner.run(&dataset)
+            };
+            let output = match result {
+                Ok(RunnerOutcome::Complete(o)) => *o,
+                Ok(RunnerOutcome::Halted { after }) => {
+                    eprintln!("pipeline halted after stage `{after}`");
+                    return ExitCode::FAILURE;
+                }
                 Err(e) => {
                     eprintln!("pipeline failed: {e}");
                     return ExitCode::FAILURE;
@@ -140,8 +169,11 @@ fn main() -> ExitCode {
                 output.annotated_clusters().len(),
                 output.occurrences.iter().flatten().count()
             );
+            for (kind, count) in output.degradation_summary() {
+                eprintln!("degraded: {kind} x{count}");
+            }
             match cmd {
-                "run" => {
+                "run" | "resume" => {
                     if let Some(path) = &args.out {
                         if let Err(e) = std::fs::write(path, output.to_json()) {
                             eprintln!("cannot write {path}: {e}");
@@ -152,13 +184,17 @@ fn main() -> ExitCode {
                 }
                 "influence" => {
                     let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
-                    let influence = match output.estimate_influence(&dataset, &estimator, 0) {
-                        Ok(i) => i,
-                        Err(e) => {
-                            eprintln!("influence estimation failed: {e}");
-                            return ExitCode::FAILURE;
+                    let (influence, skipped) =
+                        output.estimate_influence_robust(&dataset, &estimator, 0);
+                    if !skipped.is_empty() {
+                        eprintln!(
+                            "influence: {} cluster(s) skipped (failed Hawkes fits)",
+                            skipped.len()
+                        );
+                        for d in &skipped {
+                            eprintln!("  {d}");
                         }
-                    };
+                    }
                     let pct = influence.total.percent_of_destination();
                     println!("percent of destination events caused by source:");
                     print!("{:>9}", "src\\dst");

@@ -33,8 +33,8 @@ pub use meme_stats as stats;
 
 /// Convenience prelude importing the types most applications need.
 pub mod prelude {
-    pub use meme_core::pipeline::{Pipeline, PipelineConfig};
     pub use meme_core::metric::{ClusterDistance, MetricWeights};
+    pub use meme_core::pipeline::{Pipeline, PipelineConfig};
     pub use meme_hawkes::{HawkesModel, InfluenceEstimator};
     pub use meme_phash::{PHash, PerceptualHasher};
     pub use meme_simweb::{SimConfig, SimScale};

@@ -1,0 +1,164 @@
+//! Chaos suite: the pipeline must *complete with degradation records*,
+//! never panic, under deterministic fault injection.
+//!
+//! Every test generates a clean Tiny dataset, corrupts it with one
+//! [`FaultSpec`] preset, and drives the full Fig. 2 pipeline (plus
+//! Step-7 robust influence where relevant). The assertions are about
+//! graceful degradation: runs finish, fallbacks are *recorded*, and
+//! clean parts of the data stay analyzable.
+
+use origins_of_memes::core::pipeline::{
+    Degradation, Pipeline, PipelineConfig, PipelineOutput, ScreenshotFilterMode,
+};
+use origins_of_memes::core::runner::StageId;
+use origins_of_memes::hawkes::InfluenceEstimator;
+use origins_of_memes::index::IndexEngine;
+use origins_of_memes::simweb::{Community, Dataset, FaultSpec, SimConfig};
+
+/// Generate, corrupt, run. Panics (failing the test) if the pipeline
+/// does not complete.
+fn run_corrupted(spec: FaultSpec) -> (Dataset, PipelineOutput) {
+    let mut dataset = SimConfig::tiny(31).generate();
+    let report = spec.apply(&mut dataset);
+    assert!(report.any(), "preset corrupted nothing");
+    let out = Pipeline::new(PipelineConfig::fast())
+        .run(&dataset)
+        .expect("pipeline completes under corruption");
+    (dataset, out)
+}
+
+fn robust_influence(dataset: &Dataset, out: &PipelineOutput) -> Vec<Degradation> {
+    let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+    let (_, degradations) = out.estimate_influence_robust(dataset, &estimator, 2);
+    degradations
+}
+
+#[test]
+fn chaos_nan_storm_skips_poisoned_clusters() {
+    let (dataset, out) = run_corrupted(FaultSpec::nan_storm(1));
+    // Steps 1–6 are timestamp-agnostic and must finish clean.
+    assert_eq!(out.occurrences.len(), dataset.posts.len());
+    // Step 7: clusters whose event stream caught a NaN are skipped and
+    // recorded, not fatal.
+    let degradations = robust_influence(&dataset, &out);
+    assert!(
+        degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::HawkesClusterSkipped { .. })),
+        "no skips recorded: {degradations:?}"
+    );
+    // The strict path refuses the same data with a typed error.
+    let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+    assert!(out.estimate_influence(&dataset, &estimator, 2).is_err());
+}
+
+#[test]
+fn chaos_duplicate_flood_degrades_the_index() {
+    let (dataset, out) = run_corrupted(FaultSpec::duplicate_flood(2));
+    let fallback = out
+        .degradations
+        .iter()
+        .find_map(|d| match d {
+            Degradation::IndexFellBack { stage, engine, .. } => Some((*stage, *engine)),
+            _ => None,
+        })
+        .expect("duplicate flood must degrade the cluster index");
+    assert_eq!(fallback.0, StageId::Cluster);
+    assert_ne!(fallback.1, IndexEngine::Mih);
+    // Degradation counts surface in the summary.
+    let summary = out.degradation_summary();
+    assert!(summary
+        .iter()
+        .any(|(k, n)| *k == "hamming index fell back" && *n >= 1));
+    // …and the run is still a full run.
+    assert_eq!(out.occurrences.len(), dataset.posts.len());
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_blank_flood_degrades_the_index() {
+    let (dataset, out) = run_corrupted(FaultSpec::blank_flood(3));
+    assert!(
+        out.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::IndexFellBack { .. })),
+        "all-zero pHash flood must degrade the index: {:?}",
+        out.degradations
+    );
+    assert_eq!(out.occurrences.len(), dataset.posts.len());
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_gallery_wipe_still_annotates_or_degrades_gracefully() {
+    let (dataset, out) = run_corrupted(FaultSpec::gallery_wipe(4));
+    // Wiping most galleries shrinks annotation coverage but must not
+    // break the association step (an empty index matches nothing).
+    assert_eq!(out.annotations.len(), out.clustering.n_clusters());
+    assert_eq!(out.occurrences.len(), dataset.posts.len());
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_score_garbage_is_harmless_to_the_image_pipeline() {
+    let (dataset, out) = run_corrupted(FaultSpec::score_garbage(5));
+    assert_eq!(out.post_hashes.len(), dataset.posts.len());
+    assert!(out.clustering.n_clusters() > 0);
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_cascade_starvation_completes() {
+    let (dataset, out) = run_corrupted(FaultSpec::cascade_starvation(6));
+    assert_eq!(out.post_hashes.len(), dataset.posts.len());
+    // Single-event cascades are fittable or skipped — never fatal.
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_time_crunch_completes() {
+    let (dataset, out) = run_corrupted(FaultSpec::time_crunch(7));
+    assert_eq!(out.occurrences.len(), dataset.posts.len());
+    // Near-critical timing may or may not converge per cluster; both
+    // outcomes must be recorded, not fatal.
+    robust_influence(&dataset, &out);
+}
+
+#[test]
+fn chaos_cnn_divergence_falls_back_to_oracle() {
+    let dataset = SimConfig::tiny(32).generate();
+    let mut config = PipelineConfig::fast();
+    let train = origins_of_memes::annotate::TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        learning_rate: f32::NAN, // every attempt diverges
+        ..Default::default()
+    };
+    config.screenshot_filter = ScreenshotFilterMode::Train {
+        corpus_scale: 0.004,
+        config: train,
+    };
+    let out = Pipeline::new(config)
+        .run(&dataset)
+        .expect("fallback completes");
+    let fell_back = out.degradations.iter().any(
+        |d| matches!(d, Degradation::ScreenshotFilterFellBack { attempts, .. } if *attempts >= 2),
+    );
+    assert!(
+        fell_back,
+        "no filter fallback recorded: {:?}",
+        out.degradations
+    );
+    // Oracle fallback means no trained-classifier metrics…
+    assert!(out.screenshot_metrics.is_none());
+    // …but screenshots still get filtered (oracle ground truth).
+    assert!(out.annotations.len() == out.clustering.n_clusters());
+}
+
+#[test]
+fn chaos_degradations_survive_serialization() {
+    let (_, out) = run_corrupted(FaultSpec::duplicate_flood(8));
+    assert!(!out.degradations.is_empty());
+    let back = PipelineOutput::from_json(&out.to_json()).expect("roundtrip");
+    assert_eq!(back.degradations, out.degradations);
+}

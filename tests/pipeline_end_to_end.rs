@@ -143,10 +143,7 @@ fn influence_shape_matches_paper_headline() {
     let ext = influence.total.total_external_normalized();
     let td = ext[Community::TheDonald.index()];
     let pol = ext[Community::Pol.index()];
-    assert!(
-        td > pol,
-        "T_D efficiency {td}% must exceed /pol/ {pol}%"
-    );
+    assert!(td > pol, "T_D efficiency {td}% must exceed /pol/ {pol}%");
     // /pol/'s raw external influence mass still dominates Gab's.
     let raw = influence.total.percent_of_destination();
     let pol_on_twitter = raw[Community::Pol.index()][Community::Twitter.index()];
@@ -203,10 +200,7 @@ fn eps_sweep_shape() {
 fn custom_dbscan_params_flow_through() {
     let (dataset, _) = fixture();
     let strict = Pipeline::new(PipelineConfig {
-        dbscan: DbscanParams {
-            eps: 4,
-            min_pts: 5,
-        },
+        dbscan: DbscanParams { eps: 4, min_pts: 5 },
         ..PipelineConfig::fast()
     })
     .run(dataset)

@@ -45,3 +45,45 @@ fn corrupt_json_is_rejected() {
     assert!(PipelineOutput::from_json("{\"not\": \"a run\"}").is_err());
     assert!(PipelineOutput::from_json("").is_err());
 }
+
+#[test]
+fn checkpoints_roundtrip_preserving_stage_equality() {
+    use origins_of_memes::core::runner::{Checkpoint, PipelineRunner, RunnerOutcome, StageId};
+    let dataset = SimConfig::tiny(5).generate();
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "memes-serialization-ckpt-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let outcome = PipelineRunner::new(pipeline.clone())
+        .with_checkpoint(&path)
+        .halt_after(StageId::Cluster)
+        .run(&dataset)
+        .expect("runner halts cleanly");
+    assert!(matches!(
+        outcome,
+        RunnerOutcome::Halted {
+            after: StageId::Cluster
+        }
+    ));
+
+    let saved = std::fs::read_to_string(&path).expect("checkpoint written");
+    let ckpt = Checkpoint::from_json(&saved).expect("checkpoint decodes");
+    assert_eq!(ckpt.completed, vec![StageId::Hash, StageId::Cluster]);
+    assert_eq!(ckpt.next_stage(), Some(StageId::Site));
+    assert!(!ckpt.is_complete());
+
+    // Re-serializing is a fixed point: stage list and state identical.
+    let back = Checkpoint::from_json(&ckpt.to_json()).expect("roundtrip decodes");
+    assert_eq!(back.completed, ckpt.completed);
+    assert_eq!(back.dataset_fingerprint, ckpt.dataset_fingerprint);
+    assert_eq!(back.to_json(), ckpt.to_json());
+
+    // The partial state already carries the cluster stage's outputs.
+    assert!(ckpt.state.post_hashes.is_some());
+    assert!(ckpt.state.clustering.is_some());
+    assert!(ckpt.state.site.is_none());
+    let _ = std::fs::remove_file(&path);
+}

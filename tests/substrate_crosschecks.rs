@@ -11,7 +11,7 @@ use origins_of_memes::hawkes::{
 };
 use origins_of_memes::imaging::synth::{JitterConfig, TemplateGenome, VariantGenome};
 use origins_of_memes::index::{BruteForceIndex, HammingIndex, MihIndex};
-use origins_of_memes::phash::{ImageHasher, PerceptualHasher, PHash};
+use origins_of_memes::phash::{ImageHasher, PHash, PerceptualHasher};
 use origins_of_memes::stats::seeded_rng;
 
 /// Render a small synthetic corpus: `n_memes` templates, two variants
@@ -52,7 +52,11 @@ fn image_to_cluster_roundtrip_recovers_memes() {
     let clustering = dbscan_with_index(&index, DbscanParams::default(), 0);
     // Every meme should yield at least one cluster; noise should be
     // mostly the one-off images.
-    assert!(clustering.n_clusters() >= 8, "{} clusters", clustering.n_clusters());
+    assert!(
+        clustering.n_clusters() >= 8,
+        "{} clusters",
+        clustering.n_clusters()
+    );
     let purity = origins_of_memes::cluster::purity::majority_purity(&clustering, &truth);
     assert!(purity > 0.97, "purity {purity}");
     // Most one-offs are noise.
@@ -117,12 +121,8 @@ fn annotation_over_rendered_galleries() {
 
 #[test]
 fn hawkes_fit_passes_residual_diagnostics() {
-    let truth = HawkesModel::new(
-        vec![0.4, 0.2],
-        vec![vec![0.3, 0.2], vec![0.1, 0.25]],
-        2.0,
-    )
-    .unwrap();
+    let truth =
+        HawkesModel::new(vec![0.4, 0.2], vec![vec![0.3, 0.2], vec![0.1, 0.25]], 2.0).unwrap();
     let mut rng = seeded_rng(4);
     let events = strip_lineage(&simulate_branching(&truth, 1200.0, &mut rng));
     let fit = fit_em(
@@ -159,9 +159,6 @@ fn metric_separates_meme_families_from_hashes() {
     let metric = ClusterDistance::default();
     let within = metric.distance(&a1, &a2);
     let across = metric.distance(&a1, &b1);
-    assert!(
-        within < across,
-        "within-family {within} vs across {across}"
-    );
+    assert!(within < across, "within-family {within} vs across {across}");
     assert!(within < 0.45, "within-family distance {within} above kappa");
 }

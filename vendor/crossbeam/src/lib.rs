@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::thread::scope`, which predates
+//! `std::thread::scope`; this shim adapts the std API to the crossbeam
+//! calling convention (spawn closures receive a `&Scope` argument, and
+//! `scope` returns a `Result` instead of resuming panics).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to spawn closures, wrapping
+    /// [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope (crossbeam convention; callers here ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads all finish before
+    /// this returns. A panic on any unjoined thread (or in `f`) is
+    /// reported as `Err` rather than resumed, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_mutate() {
+        let mut data = vec![0u64; 16];
+        thread::scope(|s| {
+            for (i, chunk) in data.chunks_mut(4).enumerate() {
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 4 + j) as u64;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn join_returns_values() {
+        let out = thread::scope(|s| {
+            let hs: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 2)).collect();
+            hs.into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<i32>>()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let res = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

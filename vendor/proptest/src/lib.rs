@@ -1,0 +1,465 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`any`], `prop::collection::vec`, the
+//! [`proptest!`] macro with `#![proptest_config(...)]` and both
+//! `pat in strategy` and `ident: ty` parameters, plus the
+//! `prop_assert*`/`prop_assume` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its inputs via the assert
+//!   message and the deterministic per-test seed reproduces it;
+//! * no persistence of regression files (`*.proptest-regressions` is
+//!   ignored);
+//! * cases default to 64 instead of 256 to keep `cargo test` fast.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// An RNG for one (test, case) pair: seeded from the test name and
+    /// case index so failures reproduce run-to-run.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a dependent strategy from each value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! range_incl_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_incl_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Types with a canonical "anything" strategy, used by [`any`] and by
+/// `ident: ty` parameters in [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_random!(u8, u16, u32, u64, usize, i64, bool, f32, f64);
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random::<u32>() as i32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::RngExt;
+        use std::ops::Range;
+
+        /// Element counts accepted by [`vec`]: a fixed length or a
+        /// half-open range.
+        pub struct SizeRange(Range<usize>);
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange(n..n + 1)
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                SizeRange(r)
+            }
+        }
+
+        /// Strategy for `Vec`s with element strategy `S`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.start + 1 >= self.size.end {
+                    self.size.start
+                } else {
+                    rng.random_range(self.size.clone())
+                };
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` strategy: `size` is a fixed `usize` or `Range<usize>`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into().0,
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a property test; failure fails the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` targeting the case loop in [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr,) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// The property-test entry point. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions whose
+/// parameters are `pat in strategy` or `ident: ty`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal: munch test functions one at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    u64::from(__case),
+                );
+                $crate::__proptest_bindings!{ __rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Internal: turn `pat in strategy, ident: ty, ...` parameter lists
+/// into `let` bindings drawing from `$rng`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident; ) => {};
+    ($rng:ident; , $($rest:tt)*) => {
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+    ($rng:ident; $($rest:tt)*) => {
+        $crate::__proptest_pat!{ $rng; [] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_pat {
+    // `pat in strategy` — switch to expression accumulation.
+    ($rng:ident; [$($pat:tt)*] in $($rest:tt)*) => {
+        $crate::__proptest_expr!{ $rng; [$($pat)*] [] $($rest)* }
+    };
+    // `ident: ty` — switch to type accumulation.
+    ($rng:ident; [$($pat:tt)*] : $($rest:tt)*) => {
+        $crate::__proptest_ty!{ $rng; [$($pat)*] [] $($rest)* }
+    };
+    ($rng:ident; [$($pat:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_pat!{ $rng; [$($pat)* $t] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_expr {
+    ($rng:ident; [$($pat:tt)*] [$($e:tt)*] , $($rest:tt)*) => {
+        let $($pat)* = $crate::Strategy::generate(&($($e)*), &mut $rng);
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+    ($rng:ident; [$($pat:tt)*] [$($e:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_expr!{ $rng; [$($pat)*] [$($e)* $t] $($rest)* }
+    };
+    ($rng:ident; [$($pat:tt)*] [$($e:tt)*]) => {
+        let $($pat)* = $crate::Strategy::generate(&($($e)*), &mut $rng);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_ty {
+    ($rng:ident; [$($pat:tt)*] [$($ty:tt)*] , $($rest:tt)*) => {
+        let $($pat)*: $($ty)* = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+    ($rng:ident; [$($pat:tt)*] [$($ty:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_ty!{ $rng; [$($pat)*] [$($ty)* $t] $($rest)* }
+    };
+    ($rng:ident; [$($pat:tt)*] [$($ty:tt)*]) => {
+        let $($pat)*: $($ty)* = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = (0u64..1000, 0.0f64..1.0);
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = TestRng::for_case("sizes", 0);
+        let fixed = prop::collection::vec(0u8..10, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+        let ranged = prop::collection::vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let len = ranged.generate(&mut rng).len();
+            assert!((2..5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_dependent_strategies() {
+        let s = (1usize..10).prop_flat_map(|n| prop::collection::vec(0usize..n, n));
+        let mut rng = TestRng::for_case("fm", 1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 10);
+            let n = v.len();
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_both_param_forms(x in 1u64..100, seed: u64, mut v in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert!((1..100).contains(&x));
+            v.push(seed as i64 % 5);
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate replaces `serde` with a radically simpler model that covers
+//! everything the workspace needs: types serialize into a [`Value`]
+//! tree (the JSON data model) and deserialize back out of it. The
+//! companion `serde_derive` proc-macro generates [`Serialize`] /
+//! [`Deserialize`] impls for plain structs and enums, and the vendored
+//! `serde_json` crate renders [`Value`] to and from JSON text.
+//!
+//! Deliberate simplifications relative to upstream:
+//!
+//! * no zero-copy deserialization (no `'de` lifetime) — everything is
+//!   owned, which is fine for checkpoint/report files;
+//! * non-finite floats serialize as `null` and deserialize back as
+//!   `f64::NAN` (upstream `serde_json` errors instead); the
+//!   fault-injection tests rely on corrupt values surviving a
+//!   checkpoint round-trip;
+//! * enums use the externally-tagged representation only (the upstream
+//!   default, and the only one this workspace uses).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact — pHashes are full-range `u64`).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered, duplicate keys never produced.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A new error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// "expected X while deserializing Y" helper.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up a required object field.
+pub fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
+}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            // Written for a non-finite float (JSON has no NaN literal).
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only interpretive labels (e.g. kappa
+    /// strength names) use `&'static str` fields, so the leak is a few
+    /// bytes per loaded report — acceptable for a CLI process.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", v.kind()))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg("expected a single-character string")),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v.kind()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected an array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sort serialized elements so output is deterministic across
+        // hasher states (important for checkpoint-equality tests).
+        let mut vals: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        vals.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(vals)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v.kind()))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v.kind()))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("array", v.kind()))?;
+                let expected = [$($idx),+].len();
+                if a.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected a {expected}-tuple, got {} elements", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn nan_round_trips_via_null() {
+        let v = f64::NAN.to_value();
+        // The JSON layer writes F64(NaN) as null; simulate that here.
+        let back = f64::from_value(&Value::Null).unwrap();
+        assert!(back.is_nan());
+        assert!(matches!(v, Value::F64(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![Some(1u32), None, Some(3)];
+        assert_eq!(Vec::<Option<u32>>::from_value(&xs.to_value()).unwrap(), xs);
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let set: HashSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(HashSet::<String>::from_value(&set.to_value()).unwrap(), set);
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u64::from_value(&Value::String("x".into())).is_err());
+        assert!(<[f64; 2]>::from_value(&vec![1.0].to_value()).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(field(&[], "missing").is_err());
+    }
+}
