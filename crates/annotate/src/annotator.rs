@@ -66,6 +66,33 @@ impl ClusterAnnotation {
     }
 }
 
+/// Work accounting for one [`annotate_clusters_with_stats`] call — the
+/// observability record behind the pipeline's Step-5 throughput metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnotateStats {
+    /// Radius queries issued (one per medoid).
+    pub medoid_queries: usize,
+    /// Gallery hashes indexed.
+    pub gallery_hashes: usize,
+    /// Clusters that ended up with a representative entry.
+    pub annotated_clusters: usize,
+}
+
+/// [`annotate_clusters`] plus work accounting.
+pub fn annotate_clusters_with_stats(
+    medoids: &[PHash],
+    site: &KymSite,
+    theta: u32,
+) -> (Vec<ClusterAnnotation>, AnnotateStats) {
+    let annotations = annotate_clusters(medoids, site, theta);
+    let stats = AnnotateStats {
+        medoid_queries: medoids.len(),
+        gallery_hashes: site.entries.iter().map(|e| e.gallery.len()).sum(),
+        annotated_clusters: annotations.iter().filter(|a| a.is_annotated()).count(),
+    };
+    (annotations, stats)
+}
+
 /// Annotate every cluster medoid against a KYM site at threshold
 /// `theta`.
 ///
@@ -242,5 +269,16 @@ mod tests {
         let empty = KymSite::default();
         let anns = annotate_clusters(&[PHash(0)], &empty, 8);
         assert!(!anns[0].is_annotated());
+    }
+
+    #[test]
+    fn stats_variant_counts_work_and_matches_plain() {
+        let s = site();
+        let medoids = [PHash(0xAAAA_BBBB_CCCC_DDDD), PHash(0xFFFF_0000_FFFF_0000)];
+        let (anns, stats) = annotate_clusters_with_stats(&medoids, &s, ANNOTATION_THETA);
+        assert_eq!(anns, annotate_clusters(&medoids, &s, ANNOTATION_THETA));
+        assert_eq!(stats.medoid_queries, 2);
+        assert_eq!(stats.gallery_hashes, 6);
+        assert_eq!(stats.annotated_clusters, 1);
     }
 }

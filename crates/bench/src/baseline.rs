@@ -1,0 +1,189 @@
+//! Persisted observability baselines — the `BENCH_*.json` artifacts.
+//!
+//! Two reproducible workloads, each exported as a metrics registry
+//! (DESIGN.md §7) wrapped in a small provenance envelope:
+//!
+//! * **`BENCH_pipeline.json`** — a full checkpointless pipeline run
+//!   (Steps 1–6 under per-stage spans) plus instrumented Step-7
+//!   influence estimation, at the harness scale/seed;
+//! * **`BENCH_clustering.json`** — the Steps 2–3 kernel isolated: the
+//!   same synthetic corpus pushed through each Hamming engine (build +
+//!   `all_neighbors` spans, neighbor-pair counters), then DBSCAN.
+//!
+//! Both validate with `memes validate-metrics` (the wrapper form), so
+//! CI can archive them as trend baselines.
+
+use meme_core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
+use meme_core::runner::PipelineRunner;
+use meme_hawkes::InfluenceEstimator;
+use meme_index::{all_neighbors, BkTreeIndex, BruteForceIndex, HammingIndex, MihIndex};
+use meme_metrics::{Metrics, Registry};
+use meme_phash::PHash;
+use meme_simweb::{Community, SimConfig, SimScale};
+use meme_stats::seeded_rng;
+use rand::RngExt;
+use std::sync::Arc;
+
+/// The paper's clustering radius (eps = θ = 8).
+const EPS: u32 = 8;
+
+/// DBSCAN's minPts (paper: 5).
+const MIN_PTS: usize = 5;
+
+/// Wrap a registry export in the `BENCH_*.json` provenance envelope.
+fn wrap(bench: &str, scale: &str, seed: u64, metrics_json: &str) -> String {
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"scale\": \"{scale}\",\n  \
+         \"seed\": {seed},\n  \"metrics\": {metrics_json}\n}}\n"
+    )
+}
+
+fn scale_label(scale: SimScale) -> &'static str {
+    match scale {
+        SimScale::Tiny => "tiny",
+        SimScale::Small => "small",
+        SimScale::Default => "default",
+    }
+}
+
+/// Run the full pipeline (oracle screenshot filter) plus Step-7
+/// influence under a metrics registry; return the `BENCH_pipeline.json`
+/// document.
+pub fn pipeline_baseline(scale: SimScale, seed: u64, threads: usize) -> String {
+    let dataset = SimConfig::new(scale, seed).generate();
+    let registry = Arc::new(Registry::new());
+    let metrics = Metrics::from_registry(Arc::clone(&registry));
+    let config = PipelineConfig {
+        screenshot_filter: ScreenshotFilterMode::Oracle,
+        threads,
+        ..PipelineConfig::default()
+    };
+    let output = PipelineRunner::new(Pipeline::new(config))
+        .with_metrics(metrics.clone())
+        .run(&dataset)
+        .expect("pipeline runs on generated data")
+        .expect_complete();
+    let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+    let _ = output.estimate_influence_instrumented(&dataset, &estimator, threads, &metrics);
+    wrap("pipeline", scale_label(scale), seed, &registry.to_json())
+}
+
+/// A corpus with planted Hamming families (center + satellites inside
+/// the radius) over background noise — enough structure that DBSCAN
+/// finds clusters and the engines' index structures are exercised.
+fn clustered_corpus(seed: u64, families: usize, noise: usize) -> Vec<PHash> {
+    let mut rng = seeded_rng(seed);
+    let mut hashes = Vec::with_capacity(families * (MIN_PTS + 2) + noise);
+    for _ in 0..families {
+        let center = PHash(rng.random());
+        hashes.push(center);
+        for _ in 0..MIN_PTS + 1 {
+            let flips = rng.random_range(1..=EPS as usize / 2);
+            let mut positions = Vec::with_capacity(flips);
+            while positions.len() < flips {
+                let p = rng.random_range(0..64u8);
+                if !positions.contains(&p) {
+                    positions.push(p);
+                }
+            }
+            hashes.push(center.with_flipped_bits(&positions));
+        }
+    }
+    for _ in 0..noise {
+        hashes.push(PHash(rng.random()));
+    }
+    hashes
+}
+
+/// Build one engine and run `all_neighbors` over it, recording build
+/// and query spans plus neighbor-pair counters under
+/// `clustering/<engine>/…`.
+fn timed_engine<I: HammingIndex + Sync>(
+    metrics: &Metrics,
+    engine: &str,
+    threads: usize,
+    n_queries: usize,
+    build: impl FnOnce() -> I,
+) -> Vec<Vec<usize>> {
+    let span = metrics.span(&format!("clustering/{engine}/build"));
+    let index = build();
+    span.finish();
+    let span = metrics.span(&format!("clustering/{engine}/all_neighbors"));
+    let neighbors = all_neighbors(&index, EPS, threads);
+    let elapsed = span.finish();
+    let pairs: usize = neighbors.iter().map(Vec::len).sum();
+    metrics.add(&format!("clustering.{engine}.neighbor_pairs"), pairs as u64);
+    if elapsed > 0.0 {
+        metrics.gauge(
+            &format!("clustering.{engine}.queries_per_sec"),
+            n_queries as f64 / elapsed,
+        );
+    }
+    neighbors
+}
+
+/// Time each Hamming engine (build + `all_neighbors`) and DBSCAN on the
+/// same planted corpus; return the `BENCH_clustering.json` document.
+pub fn clustering_baseline(seed: u64, threads: usize) -> String {
+    let hashes = clustered_corpus(seed, 150, 1500);
+    let registry = Arc::new(Registry::new());
+    let metrics = Metrics::from_registry(Arc::clone(&registry));
+    metrics.add("clustering.corpus_hashes", hashes.len() as u64);
+
+    let mih = timed_engine(&metrics, "mih", threads, hashes.len(), || {
+        MihIndex::new(hashes.clone(), EPS)
+    });
+    let bk = timed_engine(&metrics, "bk_tree", threads, hashes.len(), || {
+        BkTreeIndex::new(hashes.clone())
+    });
+    let brute = timed_engine(&metrics, "brute_force", threads, hashes.len(), || {
+        BruteForceIndex::new(hashes.clone())
+    });
+    // The engines must agree; a baseline taken off a divergent engine
+    // would be comparing different work.
+    assert_eq!(mih, bk, "bk_tree diverged from mih");
+    assert_eq!(mih, brute, "brute_force diverged from mih");
+
+    let neighbors = mih;
+    let span = metrics.span("clustering/dbscan");
+    let clustering = meme_cluster::dbscan::try_dbscan(&neighbors, MIN_PTS)
+        .expect("dbscan runs on planted corpus");
+    span.finish();
+    metrics.add("clustering.clusters", clustering.n_clusters() as u64);
+    metrics.add("clustering.noise_posts", clustering.noise_count() as u64);
+
+    wrap("clustering", "synthetic", seed, &registry.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_baseline_is_valid_and_finds_clusters() {
+        let doc = clustering_baseline(7, 2);
+        // The wrapper embeds a registry export under "metrics".
+        assert!(doc.contains("\"bench\": \"clustering\""));
+        assert!(doc.contains("\"schema_version\""));
+        assert!(doc.contains("clustering/mih/all_neighbors"));
+        assert!(doc.contains("clustering.clusters"));
+    }
+
+    #[test]
+    fn pipeline_baseline_carries_stage_spans_and_hawkes_counters() {
+        let doc = pipeline_baseline(SimScale::Tiny, 7, 0);
+        assert!(doc.contains("\"bench\": \"pipeline\""));
+        for needle in [
+            "pipeline/hash",
+            "pipeline/cluster",
+            "pipeline/site",
+            "pipeline/annotate",
+            "pipeline/associate",
+            "pipeline/influence",
+            "hawkes.em_iterations_total",
+            "hash.images_per_sec",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `bench-baselines` — persist the observability baselines.
+//!
+//! ```text
+//! bench-baselines [--scale tiny|small|default] [--seed N]
+//!                 [--threads N] [--out-dir DIR]
+//! ```
+//!
+//! Writes `BENCH_pipeline.json` (full pipeline + Step-7 influence under
+//! per-stage spans) and `BENCH_clustering.json` (per-engine build /
+//! `all_neighbors` / DBSCAN timings) into `--out-dir` (default: the
+//! current directory). Both files pass `memes validate-metrics`.
+
+use meme_bench::baseline::{clustering_baseline, pipeline_baseline};
+use meme_bench::harness::Options;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = Options::from_args();
+    let dir = opts.out_dir.clone().unwrap_or_else(|| ".".to_string());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[bench-baselines] pipeline baseline (scale {:?}, seed {})...",
+        opts.scale, opts.seed
+    );
+    let pipeline = pipeline_baseline(opts.scale, opts.seed, opts.threads);
+    let pipeline_path = Path::new(&dir).join("BENCH_pipeline.json");
+    if let Err(e) = std::fs::write(&pipeline_path, pipeline) {
+        eprintln!("cannot write {}: {e}", pipeline_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench-baselines] wrote {}", pipeline_path.display());
+
+    eprintln!(
+        "[bench-baselines] clustering baseline (seed {})...",
+        opts.seed
+    );
+    let clustering = clustering_baseline(opts.seed, opts.threads);
+    let clustering_path = Path::new(&dir).join("BENCH_clustering.json");
+    if let Err(e) = std::fs::write(&clustering_path, clustering) {
+        eprintln!("cannot write {}: {e}", clustering_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench-baselines] wrote {}", clustering_path.display());
+    ExitCode::SUCCESS
+}

@@ -15,18 +15,22 @@ pub struct Options {
     pub train_filter: bool,
     /// Worker threads (0 = all).
     pub threads: usize,
+    /// Output directory for binaries that persist artifacts
+    /// (`bench-baselines`); `None` means the current directory.
+    pub out_dir: Option<String>,
 }
 
 impl Options {
     /// Parse from `std::env::args`. Recognized flags:
     /// `--scale tiny|small|default`, `--seed N`, `--train-filter`,
-    /// `--threads N`.
+    /// `--threads N`, `--out-dir DIR`.
     pub fn from_args() -> Self {
         let mut opts = Self {
             scale: SimScale::Small,
             seed: 1,
             train_filter: false,
             threads: 0,
+            out_dir: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -55,6 +59,10 @@ impl Options {
                 "--threads" => {
                     i += 1;
                     opts.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+                }
+                "--out-dir" => {
+                    i += 1;
+                    opts.out_dir = args.get(i).cloned();
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }

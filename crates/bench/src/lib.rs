@@ -15,5 +15,6 @@
 #![allow(clippy::needless_range_loop)] // community-matrix loops read clearer with explicit indices
 
 pub mod ablations;
+pub mod baseline;
 pub mod harness;
 pub mod sections;

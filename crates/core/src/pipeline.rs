@@ -20,14 +20,15 @@
 
 use crate::metric::ClusterDescriptor;
 use crate::runner::{PipelineRunner, RunnerOutcome, StageId, StageState};
-use meme_annotate::annotator::{annotate_clusters, ClusterAnnotation};
+use meme_annotate::annotator::{annotate_clusters_with_stats, ClusterAnnotation};
 use meme_annotate::kym::{KymEntry, KymSite};
 use meme_annotate::nn::TrainConfig;
 use meme_annotate::screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotFilter};
 use meme_annotate::AnnotateError;
 use meme_cluster::dbscan::{try_dbscan, ClusterError, Clustering, DbscanParams};
 use meme_hawkes::{ClusterInfluence, Event, HawkesError, InfluenceEstimator};
-use meme_index::{all_neighbors, FallbackIndex, HammingIndex, IndexEngine};
+use meme_index::{all_neighbors, effective_threads, FallbackIndex, HammingIndex, IndexEngine};
+use meme_metrics::Metrics;
 use meme_phash::{ImageHasher, PHash, PerceptualHasher};
 use meme_simweb::{Community, Dataset};
 use meme_stats::dist::DistError;
@@ -228,6 +229,15 @@ impl Degradation {
             Self::IndexFellBack { .. } => "hamming index fell back",
         }
     }
+
+    /// Stable machine-readable identifier (metric names, JSON keys).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Self::HawkesClusterSkipped { .. } => "hawkes_cluster_skipped",
+            Self::ScreenshotFilterFellBack { .. } => "screenshot_filter_fell_back",
+            Self::IndexFellBack { .. } => "index_fell_back",
+        }
+    }
 }
 
 impl fmt::Display for Degradation {
@@ -290,12 +300,28 @@ pub struct PipelineOutput {
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PipelineConfig,
+    metrics: Metrics,
 }
 
 impl Pipeline {
-    /// Create a pipeline with a configuration.
+    /// Create a pipeline with a configuration (metrics disabled).
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attach a metrics handle; every stage records counters/spans into
+    /// it. A disabled handle (the default) costs one branch per record.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The configuration.
@@ -343,7 +369,16 @@ impl Pipeline {
                 // --- Step 5: cluster annotation.
                 let medoid_hashes = req(&state.medoid_hashes, StageId::Annotate)?;
                 let site = req(&state.site, StageId::Annotate)?;
-                let annotations = annotate_clusters(medoid_hashes, site, self.config.theta);
+                let (annotations, stats) =
+                    annotate_clusters_with_stats(medoid_hashes, site, self.config.theta);
+                self.metrics
+                    .add("annotate.medoid_queries", stats.medoid_queries as u64);
+                self.metrics
+                    .add("annotate.gallery_hashes", stats.gallery_hashes as u64);
+                self.metrics.add(
+                    "annotate.annotated_clusters",
+                    stats.annotated_clusters as u64,
+                );
                 state.annotations = Some(annotations);
                 Ok(())
             }
@@ -368,6 +403,12 @@ impl Pipeline {
         let fringe_hashes: Vec<PHash> = fringe_posts.iter().map(|&i| post_hashes[i]).collect();
         let index = FallbackIndex::build(fringe_hashes.clone(), self.config.dbscan.eps);
         let fallback = degraded_engine(&index, StageId::Cluster);
+        self.metrics
+            .inc(&format!("index.engine.{}", index.engine().slug()));
+        self.metrics
+            .add("cluster.fringe_posts", fringe_posts.len() as u64);
+        self.metrics
+            .add("cluster.neighbor_queries", fringe_hashes.len() as u64);
         let neighbors = all_neighbors(&index, self.config.dbscan.eps, self.config.threads);
         let clustering = try_dbscan(&neighbors, self.config.dbscan.min_pts).map_err(|e| {
             PipelineError::Stage {
@@ -376,6 +417,10 @@ impl Pipeline {
                 source: StageError::Cluster(e),
             }
         })?;
+        self.metrics
+            .add("cluster.clusters", clustering.n_clusters() as u64);
+        self.metrics
+            .add("cluster.noise_posts", clustering.noise_count() as u64);
         let medoid_positions = clustering.medoids(&fringe_hashes);
         state.medoid_hashes = Some(medoid_positions.iter().map(|&p| fringe_hashes[p]).collect());
         state.medoid_posts = Some(medoid_positions.iter().map(|&p| fringe_posts[p]).collect());
@@ -386,6 +431,11 @@ impl Pipeline {
     }
 
     /// Step 6: associate every post to the nearest annotated cluster.
+    ///
+    /// Parallelized the same way as [`Pipeline::hash_posts`]: the output
+    /// vector is split into contiguous chunks, one scoped worker per
+    /// chunk, so the result is byte-identical for any thread count —
+    /// each slot depends only on its own post hash.
     fn stage_associate(&self, state: &mut StageState) -> Result<(), PipelineError> {
         let post_hashes = req(&state.post_hashes, StageId::Associate)?;
         let medoid_hashes = req(&state.medoid_hashes, StageId::Associate)?;
@@ -398,15 +448,39 @@ impl Pipeline {
         let annotated_hashes: Vec<PHash> = annotated.iter().map(|&c| medoid_hashes[c]).collect();
         let assoc_index = FallbackIndex::build(annotated_hashes, self.config.theta);
         let fallback = degraded_engine(&assoc_index, StageId::Associate);
-        let occurrences: Vec<Option<usize>> = post_hashes
-            .iter()
-            .map(|&h| {
-                let hits = assoc_index.radius_query(h, self.config.theta);
-                hits.into_iter()
-                    .min_by_key(|&pos| (h.distance(assoc_index.hash_at(pos)), pos))
-                    .map(|pos| annotated[pos])
+        self.metrics
+            .inc(&format!("index.engine.{}", assoc_index.engine().slug()));
+        let n = post_hashes.len();
+        let mut occurrences: Vec<Option<usize>> = vec![None; n];
+        if n > 0 && !annotated.is_empty() {
+            let threads = effective_threads(self.config.threads, n);
+            let chunk_len = n.div_ceil(threads);
+            let theta = self.config.theta;
+            let annotated = &annotated;
+            let assoc_index = &assoc_index;
+            crossbeam::thread::scope(|s| {
+                for (chunk_id, slot_chunk) in occurrences.chunks_mut(chunk_len).enumerate() {
+                    s.spawn(move |_| {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            let h = post_hashes[chunk_id * chunk_len + off];
+                            let hits = assoc_index.radius_query(h, theta);
+                            *slot = hits
+                                .into_iter()
+                                .min_by_key(|&pos| (h.distance(assoc_index.hash_at(pos)), pos))
+                                .map(|pos| annotated[pos]);
+                        }
+                    });
+                }
             })
-            .collect();
+            .expect("association worker panicked");
+        }
+        self.metrics.add("associate.posts", n as u64);
+        self.metrics.add(
+            "associate.matched",
+            occurrences.iter().flatten().count() as u64,
+        );
+        self.metrics
+            .add("associate.annotated_medoids", annotated.len() as u64);
         state.occurrences = Some(occurrences);
         state.degradations.extend(fallback);
         Ok(())
@@ -415,16 +489,15 @@ impl Pipeline {
     /// Step 1 worker: hash every post's image in parallel.
     fn hash_posts(&self, dataset: &Dataset) -> Vec<PHash> {
         let n = dataset.posts.len();
-        let hw = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
-        let threads = if self.config.threads == 0 {
-            hw
-        } else {
-            self.config.threads
+        if n == 0 {
+            // `.clamp(1, n)` with n = 0 panics (min > max), and a zero
+            // chunk length would panic `chunks_mut`; an empty corpus
+            // simply has no hashes.
+            return Vec::new();
         }
-        .clamp(1, n);
+        let threads = effective_threads(self.config.threads, n);
         let chunk_len = n.div_ceil(threads);
+        self.metrics.add("hash.images", n as u64);
         let mut hashes = vec![PHash::default(); n];
         crossbeam::thread::scope(|s| {
             for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
@@ -460,6 +533,7 @@ impl Pipeline {
                 let mut trained = None;
                 let mut last_err = String::new();
                 for attempt in 0..MAX_TRAIN_ATTEMPTS {
+                    self.metrics.inc("site.cnn_train_attempts");
                     let mut cfg = *config;
                     cfg.seed = config.seed.wrapping_add(attempt as u64);
                     let corpus = ScreenshotCorpus::generate(*corpus_scale, cfg.seed);
@@ -468,7 +542,10 @@ impl Pipeline {
                             trained = Some(fm);
                             break;
                         }
-                        Err(e) => last_err = e.to_string(),
+                        Err(e) => {
+                            self.metrics.inc("site.cnn_train_failures");
+                            last_err = e.to_string();
+                        }
                     }
                 }
                 match trained {
@@ -512,6 +589,11 @@ impl Pipeline {
             });
             meme_ids.push(raw.meme_id);
         }
+        self.metrics.add("site.entries", entries.len() as u64);
+        self.metrics.add(
+            "site.gallery_images_kept",
+            entries.iter().map(|e| e.gallery.len() as u64).sum(),
+        );
         let metrics = filter.and_then(|(_, m)| m);
         (KymSite::new(entries), meme_ids, metrics)
     }
@@ -638,10 +720,52 @@ impl PipelineOutput {
         estimator: &InfluenceEstimator,
         threads: usize,
     ) -> (ClusterInfluence, Vec<Degradation>) {
+        self.estimate_influence_instrumented(dataset, estimator, threads, &Metrics::disabled())
+    }
+
+    /// [`PipelineOutput::estimate_influence_robust`] with observability:
+    /// records the Step-7 span (`pipeline/influence`), per-run EM
+    /// iteration counts (total + histogram), final log-likelihood per
+    /// fitted cluster, and a `degradation.hawkes_cluster_skipped`
+    /// counter per skip.
+    pub fn estimate_influence_instrumented(
+        &self,
+        dataset: &Dataset,
+        estimator: &InfluenceEstimator,
+        threads: usize,
+        metrics: &Metrics,
+    ) -> (ClusterInfluence, Vec<Degradation>) {
+        let span = metrics.span("pipeline/influence");
         let streams = self.all_cluster_events(dataset);
         let robust = estimator.estimate_robust(&streams, dataset.horizon(), threads);
+        let elapsed = span.finish();
         let annotated = self.annotated_clusters();
-        let degradations = robust
+        metrics.add("hawkes.clusters_total", streams.len() as u64);
+        metrics.add("hawkes.clusters_fitted", robust.fit_stats.len() as u64);
+        metrics.add("hawkes.clusters_skipped", robust.skipped.len() as u64);
+        let mut iterations_total = 0u64;
+        let mut ll_total = 0.0f64;
+        for fit in &robust.fit_stats {
+            iterations_total += fit.iterations as u64;
+            metrics.observe(
+                "hawkes.em_iterations",
+                &meme_metrics::ITERATION_BUCKETS,
+                fit.iterations as f64,
+            );
+            metrics.gauge(
+                &format!("hawkes.cluster.{}.log_likelihood", annotated[fit.cluster]),
+                fit.log_likelihood,
+            );
+            if fit.log_likelihood.is_finite() {
+                ll_total += fit.log_likelihood;
+            }
+        }
+        metrics.add("hawkes.em_iterations_total", iterations_total);
+        metrics.gauge("hawkes.log_likelihood_total", ll_total);
+        if elapsed > 0.0 && !streams.is_empty() {
+            metrics.gauge("hawkes.clusters_per_sec", streams.len() as f64 / elapsed);
+        }
+        let degradations: Vec<Degradation> = robust
             .skipped
             .iter()
             .map(|s| Degradation::HawkesClusterSkipped {
@@ -649,6 +773,9 @@ impl PipelineOutput {
                 reason: s.error.to_string(),
             })
             .collect();
+        for d in &degradations {
+            metrics.inc(&format!("degradation.{}", d.slug()));
+        }
         (robust.influence, degradations)
     }
 
@@ -859,6 +986,118 @@ mod tests {
         dataset.posts.clear();
         let err = Pipeline::new(PipelineConfig::fast()).run(&dataset);
         assert!(matches!(err, Err(PipelineError::EmptyDataset)));
+    }
+
+    #[test]
+    fn hash_posts_handles_empty_dataset_without_panicking() {
+        // Regression: `.clamp(1, 0)` panics with min > max; the hash
+        // stage must instead return an empty vector (the runner's typed
+        // EmptyDataset error guards the public entry points, but the
+        // worker itself must stay total).
+        let mut dataset = SimConfig::tiny(18).generate();
+        dataset.posts.clear();
+        for threads in [0usize, 1, 8] {
+            let pipeline = Pipeline::new(PipelineConfig {
+                threads,
+                ..PipelineConfig::fast()
+            });
+            assert!(pipeline.hash_posts(&dataset).is_empty());
+        }
+    }
+
+    #[test]
+    fn associate_output_is_byte_identical_across_thread_counts() {
+        let dataset = SimConfig::tiny(31).generate();
+        let reference = Pipeline::new(PipelineConfig {
+            threads: 1,
+            ..PipelineConfig::fast()
+        })
+        .run(&dataset)
+        .unwrap();
+        for threads in [2usize, 8] {
+            let out = Pipeline::new(PipelineConfig {
+                threads,
+                ..PipelineConfig::fast()
+            })
+            .run(&dataset)
+            .unwrap();
+            assert_eq!(
+                reference.to_json(),
+                out.to_json(),
+                "{threads} threads diverged from serial output"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_capture_stage_counters_and_influence_stats() {
+        use meme_metrics::Registry;
+        use std::sync::Arc;
+
+        let dataset = SimConfig::tiny(17).generate();
+        let registry = Arc::new(Registry::new());
+        let metrics = Metrics::from_registry(Arc::clone(&registry));
+        let pipeline = Pipeline::new(PipelineConfig::fast()).with_metrics(metrics.clone());
+        let out = PipelineRunner::new(pipeline)
+            .run(&dataset)
+            .unwrap()
+            .expect_complete();
+        let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+        let (_inf, _deg) = out.estimate_influence_instrumented(&dataset, &estimator, 2, &metrics);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["hash.images"],
+            dataset.posts.len() as u64,
+            "hash counter"
+        );
+        assert_eq!(snap.counters["associate.posts"], dataset.posts.len() as u64);
+        assert_eq!(
+            snap.counters["cluster.clusters"],
+            out.clustering.n_clusters() as u64
+        );
+        assert_eq!(
+            snap.counters["annotate.annotated_clusters"],
+            out.annotated_clusters().len() as u64
+        );
+        assert!(snap.counters.keys().any(|k| k.starts_with("index.engine.")));
+        assert!(snap.counters["hawkes.clusters_fitted"] > 0);
+        assert!(snap.counters["hawkes.em_iterations_total"] > 0);
+        // One span per stage plus the run parent and the influence span.
+        for name in [
+            "pipeline",
+            "pipeline/hash",
+            "pipeline/cluster",
+            "pipeline/site",
+            "pipeline/annotate",
+            "pipeline/associate",
+            "pipeline/influence",
+        ] {
+            assert!(snap.spans.contains_key(name), "missing span {name}");
+        }
+        assert!(snap.gauges.contains_key("hash.images_per_sec"));
+        assert!(snap.histograms.contains_key("hawkes.em_iterations"));
+    }
+
+    #[test]
+    fn metrics_counters_are_deterministic_across_thread_counts() {
+        use meme_metrics::Registry;
+        use std::sync::Arc;
+
+        let dataset = SimConfig::tiny(32).generate();
+        let count_with = |threads: usize| {
+            let registry = Arc::new(Registry::new());
+            let pipeline = Pipeline::new(PipelineConfig {
+                threads,
+                ..PipelineConfig::fast()
+            })
+            .with_metrics(Metrics::from_registry(Arc::clone(&registry)));
+            pipeline.run(&dataset).unwrap();
+            registry.snapshot().counters
+        };
+        let reference = count_with(1);
+        assert_eq!(reference, count_with(2));
+        assert_eq!(reference, count_with(8));
     }
 
     #[test]

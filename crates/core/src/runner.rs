@@ -240,6 +240,15 @@ impl PipelineRunner {
         }
     }
 
+    /// Attach a metrics handle to the underlying pipeline; the runner
+    /// additionally records one span per stage under `pipeline/<stage>`,
+    /// a `degradation.<slug>` counter per recorded fallback, and
+    /// per-stage throughput gauges.
+    pub fn with_metrics(mut self, metrics: meme_metrics::Metrics) -> Self {
+        self.pipeline = self.pipeline.with_metrics(metrics);
+        self
+    }
+
     /// Snapshot a checkpoint to `path` after every completed stage.
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
@@ -307,18 +316,28 @@ impl PipelineRunner {
         dataset: &Dataset,
         mut ckpt: Checkpoint,
     ) -> Result<RunnerOutcome, PipelineError> {
+        let metrics = self.pipeline.metrics().clone();
+        let run_span = metrics.span("pipeline");
         let last = *StageId::ALL.last().expect("stage list is non-empty");
         for stage in StageId::ALL {
             if ckpt.completed.contains(&stage) {
                 continue;
             }
+            let span = run_span.child(stage.name());
+            let degradations_before = ckpt.state.degradations.len();
             self.pipeline.run_stage(stage, dataset, &mut ckpt.state)?;
+            let elapsed = span.finish();
+            for d in &ckpt.state.degradations[degradations_before..] {
+                metrics.inc(&format!("degradation.{}", d.slug()));
+            }
+            record_throughput(&metrics, stage, elapsed);
             ckpt.completed.push(stage);
             self.save(&ckpt)?;
             if self.halt_after == Some(stage) && stage != last {
                 return Ok(RunnerOutcome::Halted { after: stage });
             }
         }
+        run_span.finish();
         ckpt.state
             .into_output()
             .map(|out| RunnerOutcome::Complete(Box::new(out)))
@@ -341,6 +360,27 @@ impl PipelineRunner {
             ))
         })?;
         Ok(())
+    }
+}
+
+/// Derive a stage's items-per-second gauge from its wall time and the
+/// work counter the stage itself recorded. Gauges hold the last value,
+/// so on a resumed run they reflect the stages that actually ran.
+fn record_throughput(metrics: &meme_metrics::Metrics, stage: StageId, elapsed: f64) {
+    if !metrics.is_enabled() || elapsed <= 0.0 {
+        return;
+    }
+    let per_sec = |counter: &str| metrics.counter(counter) as f64 / elapsed;
+    match stage {
+        StageId::Hash => metrics.gauge("hash.images_per_sec", per_sec("hash.images")),
+        StageId::Cluster => metrics.gauge(
+            "cluster.neighbor_queries_per_sec",
+            per_sec("cluster.neighbor_queries"),
+        ),
+        StageId::Associate => {
+            metrics.gauge("associate.queries_per_sec", per_sec("associate.posts"));
+        }
+        StageId::Site | StageId::Annotate => {}
     }
 }
 
@@ -445,6 +485,34 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PipelineError::CheckpointMismatch(_)), "{err}");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_dataset_is_typed_error_for_run_and_resume() {
+        // Regression: an empty dataset must surface as EmptyDataset from
+        // both entry points (never a worker panic), with or without a
+        // checkpoint path, at any thread count.
+        let mut dataset = SimConfig::tiny(28).generate();
+        dataset.posts.clear();
+        for threads in [0usize, 1, 8] {
+            let pipeline = Pipeline::new(PipelineConfig {
+                threads,
+                ..PipelineConfig::fast()
+            });
+            let runner = PipelineRunner::new(pipeline.clone());
+            assert!(matches!(
+                runner.run(&dataset),
+                Err(PipelineError::EmptyDataset)
+            ));
+            let path = tmp_path(&format!("empty-{threads}"));
+            let _ = fs::remove_file(&path);
+            let runner = PipelineRunner::new(pipeline).with_checkpoint(&path);
+            assert!(matches!(
+                runner.resume(&dataset),
+                Err(PipelineError::EmptyDataset)
+            ));
+            let _ = fs::remove_file(&path);
+        }
     }
 
     #[test]

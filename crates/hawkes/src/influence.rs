@@ -167,6 +167,25 @@ pub struct SkippedCluster {
     pub error: HawkesError,
 }
 
+/// Cost and quality diagnostics of one cluster's successful fit — the
+/// observability record behind per-stage pipeline metrics (EM iteration
+/// counts and final log-likelihoods in `BENCH_*.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFitStats {
+    /// Index into the input cluster list.
+    pub cluster: usize,
+    /// Events in the cluster's stream.
+    pub events: usize,
+    /// Optimizer sweeps: EM iterations, or collected samples for the
+    /// Gibbs fitter.
+    pub iterations: usize,
+    /// Final log-likelihood of the fitted model on the stream.
+    pub log_likelihood: f64,
+    /// Whether the fitter reported convergence within budget (always
+    /// `true` for Gibbs, which runs a fixed sampling schedule).
+    pub converged: bool,
+}
+
 /// Output of [`InfluenceEstimator::estimate_robust`]: aggregates over
 /// the clusters that fitted, plus a record of every cluster that did
 /// not (those contribute zero matrices).
@@ -177,6 +196,10 @@ pub struct RobustInfluence {
     /// Clusters whose fit failed or landed non-stationary, in ascending
     /// cluster order.
     pub skipped: Vec<SkippedCluster>,
+    /// Fit diagnostics for every non-empty cluster that fitted, in
+    /// ascending cluster order (empty streams have nothing to fit and
+    /// produce neither stats nor a skip).
+    pub fit_stats: Vec<ClusterFitStats>,
 }
 
 impl InfluenceEstimator {
@@ -273,33 +296,44 @@ impl InfluenceEstimator {
         let chunk_len = n.div_ceil(threads);
 
         let fitter = &self.fitter;
-        let skipped: Vec<SkippedCluster> = crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (chunk_id, (slot_chunk, data_chunk)) in per_cluster
-                .chunks_mut(chunk_len)
-                .zip(clusters.chunks(chunk_len))
-                .enumerate()
-            {
-                handles.push(s.spawn(move |_| {
-                    let mut skips = Vec::new();
-                    for (off, (slot, events)) in slot_chunk.iter_mut().zip(data_chunk).enumerate() {
-                        let cluster = chunk_id * chunk_len + off;
-                        match fit_one_checked(fitter, events, k, horizon, cluster) {
-                            Ok(m) => *slot = m,
-                            Err(error) => skips.push(SkippedCluster { cluster, error }),
+        let (skipped, fit_stats): (Vec<SkippedCluster>, Vec<ClusterFitStats>) =
+            crossbeam::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (chunk_id, (slot_chunk, data_chunk)) in per_cluster
+                    .chunks_mut(chunk_len)
+                    .zip(clusters.chunks(chunk_len))
+                    .enumerate()
+                {
+                    handles.push(s.spawn(move |_| {
+                        let mut skips = Vec::new();
+                        let mut stats = Vec::new();
+                        for (off, (slot, events)) in
+                            slot_chunk.iter_mut().zip(data_chunk).enumerate()
+                        {
+                            let cluster = chunk_id * chunk_len + off;
+                            match fit_one_checked(fitter, events, k, horizon, cluster) {
+                                Ok((m, st)) => {
+                                    *slot = m;
+                                    stats.extend(st);
+                                }
+                                Err(error) => skips.push(SkippedCluster { cluster, error }),
+                            }
                         }
-                    }
-                    skips
-                }));
-            }
-            // Chunks are in cluster order, so concatenating the
-            // per-chunk skip lists keeps `skipped` sorted.
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("no panic"))
-                .collect()
-        })
-        .expect("worker thread panicked");
+                        (skips, stats)
+                    }));
+                }
+                // Chunks are in cluster order, so concatenating the
+                // per-chunk lists keeps both outputs sorted by cluster.
+                let mut skipped = Vec::new();
+                let mut fit_stats = Vec::new();
+                for h in handles {
+                    let (sk, st) = h.join().expect("no panic");
+                    skipped.extend(sk);
+                    fit_stats.extend(st);
+                }
+                (skipped, fit_stats)
+            })
+            .expect("worker thread panicked");
 
         let mut total = InfluenceMatrix::zeros(k);
         for m in &per_cluster {
@@ -308,6 +342,7 @@ impl InfluenceEstimator {
         RobustInfluence {
             influence: ClusterInfluence { per_cluster, total },
             skipped,
+            fit_stats,
         }
     }
 }
@@ -320,18 +355,33 @@ fn fit_model(
     k: usize,
     horizon: f64,
     cluster_idx: usize,
-) -> Result<Option<HawkesModel>, HawkesError> {
+) -> Result<Option<(HawkesModel, ClusterFitStats)>, HawkesError> {
     if events.is_empty() {
         return Ok(None);
     }
-    let model = match fitter {
-        Fitter::Em(cfg) => fit_em(events, k, horizon, cfg)?.model,
+    let (model, iterations, log_likelihood, converged) = match fitter {
+        Fitter::Em(cfg) => {
+            let fit = fit_em(events, k, horizon, cfg)?;
+            (fit.model, fit.iterations, fit.log_likelihood, fit.converged)
+        }
         Fitter::Gibbs(cfg, seed) => {
             let mut rng = seeded_rng(child_seed(*seed, cluster_idx as u64));
-            fit_gibbs(events, k, horizon, cfg, &mut rng)?.model
+            let fit = fit_gibbs(events, k, horizon, cfg, &mut rng)?;
+            let ll = fit
+                .model
+                .log_likelihood(events, horizon)
+                .unwrap_or(f64::NAN);
+            (fit.model, fit.samples, ll, true)
         }
     };
-    Ok(Some(model))
+    let stats = ClusterFitStats {
+        cluster: cluster_idx,
+        events: events.len(),
+        iterations,
+        log_likelihood,
+        converged,
+    };
+    Ok(Some((model, stats)))
 }
 
 fn fit_one(
@@ -343,7 +393,7 @@ fn fit_one(
 ) -> Result<InfluenceMatrix, HawkesError> {
     match fit_model(fitter, events, k, horizon, cluster_idx)? {
         None => Ok(InfluenceMatrix::zeros(k)),
-        Some(model) => Ok(InfluenceMatrix::from_counts(root_cause_matrix(
+        Some((model, _)) => Ok(InfluenceMatrix::from_counts(root_cause_matrix(
             &model, events,
         ))),
     }
@@ -357,19 +407,18 @@ fn fit_one_checked(
     k: usize,
     horizon: f64,
     cluster_idx: usize,
-) -> Result<InfluenceMatrix, HawkesError> {
+) -> Result<(InfluenceMatrix, Option<ClusterFitStats>), HawkesError> {
     match fit_model(fitter, events, k, horizon, cluster_idx)? {
-        None => Ok(InfluenceMatrix::zeros(k)),
-        Some(model) => {
+        None => Ok((InfluenceMatrix::zeros(k), None)),
+        Some((model, stats)) => {
             let rho = model.spectral_radius();
             if rho >= 1.0 {
                 return Err(HawkesError::NonStationary {
                     spectral_radius: rho,
                 });
             }
-            Ok(InfluenceMatrix::from_counts(root_cause_matrix(
-                &model, events,
-            )))
+            let matrix = InfluenceMatrix::from_counts(root_cause_matrix(&model, events));
+            Ok((matrix, Some(stats)))
         }
     }
 }
@@ -671,6 +720,47 @@ mod tests {
         let b = est.estimate_robust(&clusters, 150.0, 4);
         assert_eq!(a.influence.total, b.influence.total);
         assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.fit_stats, b.fit_stats);
+    }
+
+    #[test]
+    fn fit_stats_cover_fitted_clusters_in_order() {
+        let mut clusters = make_clusters(4, 150.0, 39);
+        clusters.push(Vec::new()); // empty: neither stats nor skip
+        clusters[1].push(Event::new(f64::NAN, 0)); // skipped
+        let est = InfluenceEstimator::new(3, 2.0);
+        let out = est.estimate_robust(&clusters, 150.0, 2);
+        let fitted: Vec<usize> = out.fit_stats.iter().map(|s| s.cluster).collect();
+        assert_eq!(fitted, vec![0, 2, 3]);
+        for st in &out.fit_stats {
+            assert!(st.iterations > 0, "cluster {} did no work", st.cluster);
+            assert!(st.events > 0);
+            assert!(
+                st.log_likelihood.is_finite(),
+                "cluster {} LL {}",
+                st.cluster,
+                st.log_likelihood
+            );
+            assert_eq!(st.events, clusters[st.cluster].len());
+        }
+    }
+
+    #[test]
+    fn gibbs_fit_stats_report_sample_budget() {
+        let clusters = make_clusters(2, 120.0, 40);
+        let cfg = GibbsConfig {
+            beta: 2.0,
+            samples: 30,
+            burn_in: 10,
+            ..GibbsConfig::default()
+        };
+        let est = InfluenceEstimator::with_fitter(3, Fitter::Gibbs(cfg, 5));
+        let out = est.estimate_robust(&clusters, 120.0, 1);
+        assert_eq!(out.fit_stats.len(), 2);
+        for st in &out.fit_stats {
+            assert_eq!(st.iterations, 30);
+            assert!(st.converged);
+        }
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub use attribution::{parent_probabilities, root_cause_matrix, root_causes};
 pub use em::{fit_em, impulse_histogram, EmConfig, EmFit};
 pub use gibbs::{fit_gibbs, GibbsConfig, GibbsFit};
 pub use influence::{
-    bootstrap_ci, BootstrapCi, ClusterInfluence, Fitter, InfluenceEstimator, InfluenceMatrix,
-    RobustInfluence, SkippedCluster, SplitInfluence,
+    bootstrap_ci, BootstrapCi, ClusterFitStats, ClusterInfluence, Fitter, InfluenceEstimator,
+    InfluenceMatrix, RobustInfluence, SkippedCluster, SplitInfluence,
 };
 pub use model::{Event, HawkesError, HawkesModel};
 pub use residual::{residual_analysis, ResidualReport};

@@ -47,6 +47,15 @@ impl IndexEngine {
             Self::BruteForce => "brute force",
         }
     }
+
+    /// Stable machine-readable identifier (metric names, JSON keys).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Self::Mih => "mih",
+            Self::BkTree => "bk_tree",
+            Self::BruteForce => "brute_force",
+        }
+    }
 }
 
 impl fmt::Display for IndexEngine {

@@ -108,7 +108,15 @@ pub fn all_neighbors<I: HammingIndex + Sync>(
     result
 }
 
-fn effective_threads(requested: usize, work_items: usize) -> usize {
+/// Number of worker threads to actually spawn for `work_items` units of
+/// work: `requested` (0 = available parallelism), never more than the
+/// work items, never less than one.
+///
+/// Shared by every parallel stage in the workspace so the zero-work
+/// edge case is handled in exactly one place: `usize::clamp` panics
+/// when `min > max`, so a bare `requested.clamp(1, work_items)` blows
+/// up on empty input — the upper bound is floored at 1 instead.
+pub fn effective_threads(requested: usize, work_items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
@@ -153,7 +161,20 @@ mod tests {
     #[test]
     fn all_neighbors_empty_index() {
         let idx = BruteForceIndex::new(Vec::new());
-        assert!(all_neighbors(&idx, 8, 0).is_empty());
+        // Regression: must not panic for any thread request, including
+        // explicit counts larger than the (zero) work items.
+        for threads in [0, 1, 7] {
+            assert!(all_neighbors(&idx, 8, threads).is_empty());
+        }
+    }
+
+    #[test]
+    fn effective_threads_never_panics_or_overshoots() {
+        assert_eq!(effective_threads(5, 0), 1); // the min>max regression
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(5, 3), 3);
+        assert_eq!(effective_threads(2, 10), 2);
+        assert!(effective_threads(0, 10) >= 1);
     }
 
     #[test]

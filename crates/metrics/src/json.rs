@@ -1,0 +1,70 @@
+//! Minimal JSON emission helpers (the crate is dependency-free).
+
+use std::fmt::Write;
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` as a JSON number. JSON has no NaN/Infinity, so non-finite
+/// values are emitted as `null` (schema consumers treat that as
+/// "measurement invalid", which it is).
+pub(crate) fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 never produces exponent notation and round-trips all
+    // finite values; integral values print without a fraction ("3"),
+    // which is still a valid JSON number.
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        write_escaped(&mut out, s);
+        out
+    }
+
+    fn num(v: f64) -> String {
+        let mut out = String::new();
+        write_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("plain"), "\"plain\"");
+        assert_eq!(esc("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(esc("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(-0.25), "-0.25");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

@@ -3,10 +3,12 @@
 //! ```text
 //! memes simulate --scale small --seed 7 --out dataset.json
 //! memes run      --scale small --seed 7 --out run.json [--train-filter]
-//!                [--checkpoint ckpt.json]
+//!                [--checkpoint ckpt.json] [--metrics-out BENCH_run.json]
 //! memes resume   --scale small --seed 7 --checkpoint ckpt.json [--out run.json]
+//!                [--metrics-out BENCH_run.json]
 //! memes influence --scale small --seed 7
 //! memes graph    --scale small --seed 7 --out fig7.dot
+//! memes validate-metrics BENCH_run.json
 //! ```
 //!
 //! Every subcommand regenerates the (deterministic) dataset from its
@@ -15,14 +17,23 @@
 //! after every stage, and `resume` picks a killed run up from the last
 //! completed stage (the checkpoint is validated against the dataset and
 //! configuration before being honoured).
+//!
+//! `--metrics-out PATH` (on `run` and `resume`) attaches a metrics
+//! registry to the pipeline, additionally runs Step-7 influence
+//! estimation under it, and writes the registry JSON (DESIGN.md §7) to
+//! PATH. `validate-metrics FILE` checks such a file against the schema
+//! and exits non-zero on any violation — the CI smoke check.
 
 use origins_of_memes::core::graph::{ClusterGraph, GraphConfig};
 use origins_of_memes::core::metric::ClusterDistance;
 use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
 use origins_of_memes::core::runner::{PipelineRunner, RunnerOutcome};
 use origins_of_memes::hawkes::InfluenceEstimator;
+use origins_of_memes::metrics::{Metrics, Registry};
+use origins_of_memes::observability::validate_metrics_json;
 use origins_of_memes::simweb::{Community, SimConfig, SimScale};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
@@ -31,6 +42,7 @@ struct Args {
     out: Option<String>,
     train_filter: bool,
     checkpoint: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,7 +55,18 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         train_filter: false,
         checkpoint: None,
+        metrics_out: None,
     };
+    if args.command == "validate-metrics" {
+        // Takes one positional FILE argument instead of flags; it is
+        // stashed in `out` for `main` to pick up.
+        args.out = Some(
+            argv.get(2)
+                .cloned()
+                .ok_or("validate-metrics needs a FILE argument")?,
+        );
+        return Ok(args);
+    }
     let mut i = 2;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -71,6 +94,10 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 args.checkpoint = Some(argv.get(i).cloned().ok_or("--checkpoint needs a path")?);
             }
+            "--metrics-out" => {
+                i += 1;
+                args.metrics_out = Some(argv.get(i).cloned().ok_or("--metrics-out needs a path")?);
+            }
             "--train-filter" => args.train_filter = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -85,7 +112,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: memes <simulate|run|resume|influence|graph> \
      [--scale tiny|small|default] [--seed N] [--out PATH] \
-     [--checkpoint PATH] [--train-filter]"
+     [--checkpoint PATH] [--metrics-out PATH] [--train-filter]\n\
+     \u{20}      memes validate-metrics FILE"
         .to_string()
 }
 
@@ -100,6 +128,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.command == "validate-metrics" {
+        let path = args.out.as_deref().expect("parse_args guarantees FILE");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_metrics_json(&text) {
+            Ok(()) => {
+                eprintln!(
+                    "{path}: valid metrics JSON (schema v{})",
+                    origins_of_memes::metrics::SCHEMA_VERSION
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid metrics JSON: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if !matches!(
         args.command.as_str(),
         "simulate" | "run" | "resume" | "influence" | "graph"
@@ -143,7 +194,16 @@ fn main() -> ExitCode {
                 },
                 ..PipelineConfig::default()
             };
-            let mut runner = PipelineRunner::new(Pipeline::new(config));
+            let registry = args
+                .metrics_out
+                .as_ref()
+                .map(|_| std::sync::Arc::new(Registry::new()));
+            let metrics = match &registry {
+                Some(r) => Metrics::from_registry(Arc::clone(r)),
+                None => Metrics::disabled(),
+            };
+            let mut runner =
+                PipelineRunner::new(Pipeline::new(config)).with_metrics(metrics.clone());
             if let Some(path) = &args.checkpoint {
                 runner = runner.with_checkpoint(path);
             }
@@ -176,6 +236,21 @@ fn main() -> ExitCode {
                 "run" | "resume" => {
                     if let Some(path) = &args.out {
                         if let Err(e) = std::fs::write(path, output.to_json()) {
+                            eprintln!("cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+                        // Step 7 under the same registry, so the export
+                        // carries the Hawkes EM iteration counts too.
+                        let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+                        let (_, skipped) = output
+                            .estimate_influence_instrumented(&dataset, &estimator, 0, &metrics);
+                        if !skipped.is_empty() {
+                            eprintln!("influence: {} cluster(s) skipped", skipped.len());
+                        }
+                        if let Err(e) = std::fs::write(path, registry.to_json()) {
                             eprintln!("cannot write {path}: {e}");
                             return ExitCode::FAILURE;
                         }

@@ -27,9 +27,12 @@ pub use meme_core as core;
 pub use meme_hawkes as hawkes;
 pub use meme_imaging as imaging;
 pub use meme_index as index;
+pub use meme_metrics as metrics;
 pub use meme_phash as phash;
 pub use meme_simweb as simweb;
 pub use meme_stats as stats;
+
+pub mod observability;
 
 /// Convenience prelude importing the types most applications need.
 pub mod prelude {
