@@ -1,0 +1,211 @@
+//! The checked-in finding baseline and the ratchet.
+//!
+//! Existing findings are grandfathered into `lint-baseline.json`; the
+//! gate (`--deny-new`) fails only on findings *not* in the baseline, so
+//! the count can only go down. Entries are keyed by
+//! `(rule, file, trimmed-line-text)` with a count — line numbers are
+//! deliberately not part of the key, so unrelated edits above a
+//! grandfathered line do not churn the baseline. `--fix-baseline`
+//! rewrites the file from the current findings (reviewed like any other
+//! diff: additions need justification, deletions are progress).
+
+use crate::error::AnalysisError;
+use crate::rules::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Schema version of `lint-baseline.json`; bump on incompatible change.
+pub const BASELINE_SCHEMA_VERSION: u32 = 1;
+
+/// One grandfathered finding class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Trimmed source-line text of the finding.
+    pub key: String,
+    /// How many findings share this (rule, file, key).
+    pub count: u32,
+}
+
+/// The persisted baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Must equal [`BASELINE_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Grandfathered entries, sorted by (file, rule, key).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Self {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl Baseline {
+    /// Build a baseline from a finding set.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut counts: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.file.clone(), f.rule.clone(), f.key.clone()))
+                .or_insert(0) += 1;
+        }
+        let entries = counts
+            .into_iter()
+            .map(|((file, rule, key), count)| BaselineEntry {
+                rule,
+                file,
+                key,
+                count,
+            })
+            .collect();
+        Self {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            entries,
+        }
+    }
+
+    /// Load from disk; a missing file is an empty baseline (first run),
+    /// a present-but-undecodable file is an operational error.
+    pub fn load(path: &Path) -> Result<Self, AnalysisError> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = fs::read_to_string(path).map_err(|e| AnalysisError::io(path, e))?;
+        let baseline: Baseline =
+            serde_json::from_str(&text).map_err(|e| AnalysisError::BaselineCorrupt {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        if baseline.schema_version != BASELINE_SCHEMA_VERSION {
+            return Err(AnalysisError::BaselineCorrupt {
+                path: path.display().to_string(),
+                detail: format!(
+                    "schema_version {} (this tool reads {})",
+                    baseline.schema_version, BASELINE_SCHEMA_VERSION
+                ),
+            });
+        }
+        Ok(baseline)
+    }
+
+    /// Write to disk (pretty, trailing newline, stable order).
+    pub fn save(&self, path: &Path) -> Result<(), AnalysisError> {
+        let mut text =
+            serde_json::to_string_pretty(self).map_err(|e| AnalysisError::ReportInvalid {
+                detail: e.to_string(),
+            })?;
+        text.push('\n');
+        fs::write(path, text).map_err(|e| AnalysisError::io(path, e))
+    }
+
+    /// Split findings into (new, grandfathered). Each baseline entry
+    /// absorbs up to `count` findings with its (rule, file, key); the
+    /// overflow — including regressions that duplicate a grandfathered
+    /// line — is new.
+    pub fn partition(&self, findings: &[Finding]) -> (Vec<Finding>, Vec<Finding>) {
+        let mut budget: BTreeMap<(&str, &str, &str), u32> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.file.as_str(), e.rule.as_str(), e.key.as_str()))
+                .or_insert(0) += e.count;
+        }
+        let mut fresh = Vec::new();
+        let mut known = Vec::new();
+        for f in findings {
+            match budget.get_mut(&(f.file.as_str(), f.rule.as_str(), f.key.as_str())) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    known.push(f.clone());
+                }
+                _ => fresh.push(f.clone()),
+            }
+        }
+        (fresh, known)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, key: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            key: key.into(),
+        }
+    }
+
+    #[test]
+    fn partition_absorbs_up_to_count() {
+        let f1 = finding("float-eq", "a.rs", "x == 0.0");
+        let b = Baseline::from_findings(std::slice::from_ref(&f1));
+        // Same finding → grandfathered; a duplicate of it → new.
+        let (fresh, known) = b.partition(&[f1.clone(), f1.clone()]);
+        assert_eq!(known.len(), 1);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn fixed_findings_shrink_nothing_else() {
+        let f1 = finding("float-eq", "a.rs", "x == 0.0");
+        let f2 = finding("float-eq", "b.rs", "y != 1.0");
+        let b = Baseline::from_findings(&[f1, f2.clone()]);
+        // f1 got fixed; f2 is still grandfathered, nothing is new.
+        let (fresh, known) = b.partition(&[f2]);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+    }
+
+    #[test]
+    fn key_is_line_text_not_line_number() {
+        let mut f = finding("float-eq", "a.rs", "x == 0.0");
+        let b = Baseline::from_findings(&[f.clone()]);
+        f.line = 99; // the line moved; the text did not
+        let (fresh, known) = b.partition(&[f]);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_and_version_gate() {
+        let dir = std::env::temp_dir().join("memes-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let b = Baseline::from_findings(&[finding("float-eq", "a.rs", "x == 0.0")]);
+        b.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded.entries, b.entries);
+
+        std::fs::write(&path, "{\"schema_version\": 999, \"entries\": []}").unwrap();
+        assert!(matches!(
+            Baseline::load(&path),
+            Err(AnalysisError::BaselineCorrupt { .. })
+        ));
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(
+            Baseline::load(&path),
+            Err(AnalysisError::BaselineCorrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.json")).unwrap();
+        assert!(b.entries.is_empty());
+    }
+}

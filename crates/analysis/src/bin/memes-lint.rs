@@ -1,0 +1,178 @@
+//! `memes-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! memes-lint [--root DIR] [--baseline FILE] [--report FILE]
+//!            [--deny-new] [--fix-baseline] [--list-rules] [--quiet]
+//! ```
+//!
+//! Exit codes follow the workspace convention ([`Exit`]): `0` clean,
+//! `1` violations (new findings under `--deny-new`, or any findings
+//! without it), `2` operational failure (unreadable root, corrupt
+//! baseline, bad usage).
+
+use meme_analysis::error::Exit;
+use meme_analysis::{validate_lint_report, AnalysisError, Baseline, Engine};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    report: PathBuf,
+    deny_new: bool,
+    fix_baseline: bool,
+    list_rules: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: memes-lint [--root DIR] [--baseline FILE] [--report FILE] \
+                     [--deny-new] [--fix-baseline] [--list-rules] [--quiet]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut deny_new = false;
+    let mut fix_baseline = false;
+    let mut list_rules = false;
+    let mut quiet = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--report" => {
+                report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--deny-new" => deny_new = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--list-rules" => list_rules = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if deny_new && fix_baseline {
+        return Err("--deny-new and --fix-baseline are mutually exclusive".to_string());
+    }
+    Ok(Args {
+        baseline: baseline.unwrap_or_else(|| root.join("lint-baseline.json")),
+        report: report.unwrap_or_else(|| root.join("lint-report.json")),
+        root,
+        deny_new,
+        fix_baseline,
+        list_rules,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return Exit::Operational.into();
+        }
+    };
+    match run(&args) {
+        Ok(exit) => exit.into(),
+        Err(e) => {
+            eprintln!("memes-lint: {e}");
+            Exit::Operational.into()
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<Exit, AnalysisError> {
+    let engine = Engine::new();
+
+    if args.list_rules {
+        for rule in engine.rules() {
+            println!("{:<28} {}", rule.id(), rule.summary());
+        }
+        println!(
+            "{:<28} malformed/reason-less lint:allow",
+            "invalid-suppression"
+        );
+        println!(
+            "{:<28} lint:allow matching no finding",
+            "unused-suppression"
+        );
+        return Ok(Exit::Clean);
+    }
+
+    let run = engine.lint_root(&args.root)?;
+
+    if args.fix_baseline {
+        let baseline = Baseline::from_findings(&run.findings);
+        baseline.save(&args.baseline)?;
+        if !args.quiet {
+            eprintln!(
+                "memes-lint: wrote {} with {} entr{} ({} finding{})",
+                args.baseline.display(),
+                baseline.entries.len(),
+                if baseline.entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                run.findings.len(),
+                if run.findings.len() == 1 { "" } else { "s" },
+            );
+        }
+        return Ok(Exit::Clean);
+    }
+
+    let baseline = Baseline::load(&args.baseline)?;
+    let report = engine.build_report(&run, &baseline);
+
+    // Self-validate before writing: a malformed artifact must never
+    // reach CI consumers.
+    let text = report.to_json()?;
+    validate_lint_report(&text)?;
+    std::fs::write(&args.report, &text).map_err(|e| AnalysisError::io(&args.report, e))?;
+
+    let (fresh, known) = baseline.partition(&run.findings);
+    if !args.quiet {
+        for f in &fresh {
+            eprintln!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+        }
+        eprintln!(
+            "memes-lint: {} file(s), {} finding(s): {} new, {} grandfathered \
+             (report: {})",
+            run.files_scanned,
+            run.findings.len(),
+            fresh.len(),
+            known.len(),
+            args.report.display(),
+        );
+    }
+
+    if args.deny_new {
+        // The ratchet: only findings outside the baseline fail the gate.
+        if fresh.is_empty() {
+            Ok(Exit::Clean)
+        } else {
+            eprintln!(
+                "memes-lint: {} new finding(s) not in {} — fix them or (with \
+                 review) run --fix-baseline",
+                fresh.len(),
+                args.baseline.display(),
+            );
+            Ok(Exit::Violations)
+        }
+    } else if run.findings.is_empty() {
+        Ok(Exit::Clean)
+    } else {
+        Ok(Exit::Violations)
+    }
+}

@@ -1,0 +1,340 @@
+//! The lint engine: walk, lex, run rules, apply suppressions, diff
+//! against the baseline, build the report.
+
+use crate::baseline::Baseline;
+use crate::context::FileContext;
+use crate::error::AnalysisError;
+use crate::report::{FindingStatus, Report, ReportFinding, RuleSummary, Totals};
+use crate::rules::{all_rule_ids, builtin_rules, Finding, Rule};
+use crate::source::{walk_workspace, SourceFile};
+use crate::suppress::parse_suppressions;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Result of linting a set of files (before baseline diffing).
+pub struct LintRun {
+    /// Findings that survived suppression, sorted by
+    /// (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: u32,
+}
+
+/// The engine: the rule registry plus the scan drivers.
+pub struct Engine {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the built-in registry.
+    pub fn new() -> Self {
+        Self {
+            rules: builtin_rules(),
+        }
+    }
+
+    /// The registered content rules.
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Lint every workspace `.rs` file under `root`.
+    pub fn lint_root(&self, root: &Path) -> Result<LintRun, AnalysisError> {
+        let files = walk_workspace(root)?;
+        Ok(self.lint_files(&files))
+    }
+
+    /// Lint an in-memory file set (tests, fixtures).
+    pub fn lint_files(&self, files: &[SourceFile]) -> LintRun {
+        let mut findings = Vec::new();
+        for file in files {
+            findings.extend(self.lint_source(file));
+        }
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+        });
+        LintRun {
+            findings,
+            files_scanned: files.len() as u32,
+        }
+    }
+
+    /// Lint one file: run applicable rules, then apply `lint:allow`
+    /// suppressions; malformed or unused suppressions become findings
+    /// themselves.
+    pub fn lint_source(&self, file: &SourceFile) -> Vec<Finding> {
+        let ctx = FileContext::build(file);
+        let mut raw: Vec<Finding> = Vec::new();
+        for rule in &self.rules {
+            if rule.applies(file) {
+                raw.extend(rule.check(&ctx));
+            }
+        }
+
+        let mut sups = parse_suppressions(&ctx.comments);
+        let valid_ids = all_rule_ids();
+        let mut out = Vec::new();
+
+        // Suppression hygiene first: unknown rules or a missing reason
+        // invalidate the directive (it suppresses nothing).
+        for s in &sups {
+            let unknown: Vec<&String> = s
+                .rules
+                .iter()
+                .filter(|r| !valid_ids.contains(&r.as_str()))
+                .collect();
+            if s.rules.is_empty() || !unknown.is_empty() || s.reason.is_none() {
+                let detail = if s.rules.is_empty() {
+                    "no rule ids".to_string()
+                } else if !unknown.is_empty() {
+                    format!(
+                        "unknown rule(s) {}",
+                        unknown
+                            .iter()
+                            .map(|r| format!("`{r}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                } else {
+                    "missing reason — a suppression is a reviewed decision; \
+                     say why the finding is acceptable"
+                        .to_string()
+                };
+                out.push(Finding::new(
+                    "invalid-suppression",
+                    file,
+                    s.line,
+                    s.col,
+                    format!("malformed lint:allow: {detail}"),
+                ));
+            }
+        }
+
+        // Apply valid suppressions.
+        for f in raw {
+            let mut suppressed = false;
+            for s in &mut sups {
+                if s.reason.is_some() && s.covers(&f.rule, f.line) {
+                    s.used = true;
+                    suppressed = true;
+                    break;
+                }
+            }
+            if !suppressed {
+                out.push(f);
+            }
+        }
+
+        // A valid suppression that matched nothing is stale.
+        for s in &sups {
+            if s.reason.is_some()
+                && !s.used
+                && s.rules.iter().all(|r| valid_ids.contains(&r.as_str()))
+                && !s.rules.is_empty()
+            {
+                out.push(Finding::new(
+                    "unused-suppression",
+                    file,
+                    s.line,
+                    s.col,
+                    format!(
+                        "lint:allow({}) suppresses nothing here; remove it",
+                        s.rules.join(", ")
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Build the full report for a run diffed against a baseline.
+    pub fn build_report(&self, run: &LintRun, baseline: &Baseline) -> Report {
+        let (fresh, _known) = baseline.partition(&run.findings);
+        let is_fresh: Vec<bool> = {
+            // partition() clones; recover per-finding status by replaying
+            // the same budget logic over the sorted findings.
+            let mut budget: BTreeMap<(&str, &str, &str), u32> = BTreeMap::new();
+            for e in &baseline.entries {
+                *budget
+                    .entry((e.file.as_str(), e.rule.as_str(), e.key.as_str()))
+                    .or_insert(0) += e.count;
+            }
+            run.findings
+                .iter()
+                .map(|f| {
+                    match budget.get_mut(&(f.file.as_str(), f.rule.as_str(), f.key.as_str())) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            false
+                        }
+                        _ => true,
+                    }
+                })
+                .collect()
+        };
+        debug_assert_eq!(is_fresh.iter().filter(|&&b| b).count(), fresh.len());
+
+        let mut per_rule: BTreeMap<&str, u32> = BTreeMap::new();
+        for f in &run.findings {
+            *per_rule.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        let mut rules: Vec<RuleSummary> = self
+            .rules
+            .iter()
+            .map(|r| RuleSummary {
+                id: r.id().to_string(),
+                summary: r.summary().to_string(),
+                count: per_rule.get(r.id()).copied().unwrap_or(0),
+            })
+            .collect();
+        for id in crate::rules::ENGINE_RULE_IDS {
+            rules.push(RuleSummary {
+                id: id.to_string(),
+                summary: "suppression hygiene (engine-level)".to_string(),
+                count: per_rule.get(id).copied().unwrap_or(0),
+            });
+        }
+
+        let findings: Vec<ReportFinding> = run
+            .findings
+            .iter()
+            .zip(&is_fresh)
+            .map(|(f, &fresh)| {
+                ReportFinding::new(
+                    f,
+                    if fresh {
+                        FindingStatus::New
+                    } else {
+                        FindingStatus::Grandfathered
+                    },
+                )
+            })
+            .collect();
+        let new = is_fresh.iter().filter(|&&b| b).count() as u32;
+        let total = findings.len() as u32;
+        Report {
+            schema_version: crate::report::REPORT_SCHEMA_VERSION,
+            tool: "memes-lint".to_string(),
+            files_scanned: run.files_scanned,
+            rules,
+            findings,
+            totals: Totals {
+                total,
+                new,
+                grandfathered: total - new,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        Engine::new().lint_source(&SourceFile::new(path, src))
+    }
+
+    #[test]
+    fn suppression_silences_a_finding() {
+        let f = lint_one(
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+                 // lint:allow(panic-in-pipeline): documented invariant, tested above\n\
+                 a.unwrap();\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trailing_suppression_works() {
+        let f = lint_one(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); } // lint:allow(panic-in-pipeline): invariant\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn reasonless_suppression_is_invalid_and_inert() {
+        let f = lint_one(
+            "crates/core/src/x.rs",
+            "fn f() {\n// lint:allow(panic-in-pipeline)\na.unwrap();\n}\n",
+        );
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"invalid-suppression"), "{rules:?}");
+        assert!(rules.contains(&"panic-in-pipeline"), "{rules:?}");
+    }
+
+    #[test]
+    fn unknown_rule_is_invalid() {
+        let f = lint_one(
+            "crates/core/src/x.rs",
+            "// lint:allow(made-up-rule): whatever\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "invalid-suppression");
+        assert!(f[0].message.contains("made-up-rule"));
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let f = lint_one(
+            "crates/core/src/x.rs",
+            "// lint:allow(panic-in-pipeline): nothing here panics\nfn f() {}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let files = [
+            SourceFile::new("crates/core/src/b.rs", "fn f() { a.unwrap(); }\n"),
+            SourceFile::new(
+                "crates/core/src/a.rs",
+                "fn f() { b.unwrap(); c.unwrap(); }\n",
+            ),
+        ];
+        let run = Engine::new().lint_files(&files);
+        let keys: Vec<(&str, u32, u32)> = run
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.col))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(run.findings[0].file, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn report_statuses_match_partition() {
+        let files = [SourceFile::new(
+            "crates/core/src/a.rs",
+            "fn f() { a.unwrap(); }\n",
+        )];
+        let engine = Engine::new();
+        let run = engine.lint_files(&files);
+        assert_eq!(run.findings.len(), 1);
+
+        let empty = Baseline::default();
+        let report = engine.build_report(&run, &empty);
+        assert_eq!(report.totals.new, 1);
+        assert_eq!(report.totals.grandfathered, 0);
+
+        let grandfathering = Baseline::from_findings(&run.findings);
+        let report = engine.build_report(&run, &grandfathering);
+        assert_eq!(report.totals.new, 0);
+        assert_eq!(report.totals.grandfathered, 1);
+        report.to_json().unwrap();
+    }
+}

@@ -1,0 +1,130 @@
+//! `unseeded-rng`: every RNG in the simulators is derived from the
+//! config seed.
+//!
+//! `simweb` (synthetic web events) and `hawkes` (point-process
+//! simulation) exist to make the paper's measurements reproducible; an
+//! RNG seeded from entropy (`thread_rng()`, `from_entropy()`, `OsRng`,
+//! `rand::random()`) silently breaks the fixed-seed contract while
+//! every test still passes. The sanctioned construction path is
+//! `seeded_rng(child_seed(seed, label))` threaded down from the run
+//! config.
+
+use super::{is_macro_call, is_method_call, Finding, Rule};
+use crate::context::FileContext;
+use crate::source::{FileClass, SourceFile};
+
+/// Crates whose randomness must be seed-derived.
+const SCOPED_CRATES: [&str; 2] = ["simweb", "hawkes"];
+
+/// Entropy-sourced constructors.
+const ENTROPY_FNS: [&str; 3] = ["thread_rng", "from_entropy", "from_os_rng"];
+
+pub struct UnseededRng;
+
+impl Rule for UnseededRng {
+    fn id(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn summary(&self) -> &'static str {
+        "RNG constructed from entropy instead of the config seed in simweb/hawkes"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.class == FileClass::Lib && SCOPED_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, ctx: &FileContext<'_>) -> Vec<Finding> {
+        let toks = &ctx.tokens;
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if ctx.is_test_line(t.line) {
+                continue;
+            }
+            let entropy_call = ENTROPY_FNS
+                .iter()
+                .any(|f| t.is_ident(f) && toks.get(i + 1).is_some_and(|n| n.is_punct("(")));
+            let os_rng = t.is_ident("OsRng");
+            // `rand::random()` or a bare `random()` call. A path-
+            // qualified `Type::random(..)` constructor (which takes an
+            // explicit seed in this workspace) is not entropy.
+            let qualifier =
+                (i >= 2 && toks[i - 1].is_punct("::")).then(|| toks[i - 2].text.as_str());
+            let random_free = t.is_ident("random")
+                && (i == 0 || !toks[i - 1].is_punct("."))
+                && !is_method_call(toks, i, "random")
+                && !is_macro_call(toks, i, "random")
+                && matches!(qualifier, None | Some("rand"))
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+            if entropy_call || os_rng || random_free {
+                out.push(Finding::new(
+                    self.id(),
+                    ctx.file,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` draws entropy outside the seed tree; construct \
+                         RNGs via seeded_rng(child_seed(seed, ..)) so runs \
+                         replay byte-identically",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file = SourceFile::new("crates/simweb/src/x.rs", src);
+        let ctx = FileContext::build(&file);
+        UnseededRng.check(&ctx)
+    }
+
+    #[test]
+    fn flags_entropy_constructors() {
+        assert_eq!(check("fn f() { let mut r = thread_rng(); }\n").len(), 1);
+        assert_eq!(
+            check("fn f() { let r = StdRng::from_entropy(); }\n").len(),
+            1
+        );
+        assert_eq!(check("fn f() { let r = OsRng; }\n").len(), 1);
+        assert_eq!(check("fn f() { let x: u64 = rand::random(); }\n").len(), 1);
+    }
+
+    #[test]
+    fn seeded_construction_is_fine() {
+        assert!(
+            check("fn f(seed: u64) { let r = seeded_rng(child_seed(seed, \"ev\")); }\n").is_empty()
+        );
+        assert!(check("fn f(seed: u64) { let r = StdRng::seed_from_u64(seed); }\n").is_empty());
+    }
+
+    #[test]
+    fn methods_named_random_are_fine() {
+        assert!(check("fn f(m: M) { m.random(); }\n").is_empty());
+    }
+
+    #[test]
+    fn seeded_constructor_named_random_is_fine() {
+        assert!(
+            check("fn f(seed: u64) { VariantGenome::random(t, child_seed(seed, 1), 2); }\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn out_of_scope_crates_skip() {
+        let file = SourceFile::new("crates/core/src/x.rs", "");
+        assert!(!UnseededRng.applies(&file));
+    }
+}

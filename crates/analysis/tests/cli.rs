@@ -1,0 +1,191 @@
+//! End-to-end tests for the `memes-lint` binary: exit codes, the
+//! baseline ratchet workflow, and the written report artifact.
+//!
+//! Each test builds a throwaway fake workspace under the OS temp dir
+//! and drives the real binary via `CARGO_BIN_EXE_memes-lint`.
+
+use meme_analysis::validate_lint_report;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const CLEAN_LIB: &str = "pub fn add(a: u64, b: u64) -> u64 { a + b }\n";
+
+const ONE_PANIC: &str = "pub fn first(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+
+const TWO_PANICS: &str = "pub fn first(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n\
+                          pub fn second(y: Option<u64>) -> u64 {\n    y.expect(\"y\")\n}\n";
+
+/// A scratch workspace rooted in the temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str, lib_source: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("memes-lint-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let src = root.join("crates/core/src");
+        fs::create_dir_all(&src).expect("create scratch workspace");
+        fs::write(src.join("lib.rs"), lib_source).expect("write scratch lib.rs");
+        Self { root }
+    }
+
+    fn write_lib(&self, source: &str) {
+        fs::write(self.root.join("crates/core/src/lib.rs"), source).expect("rewrite lib.rs");
+    }
+
+    fn lint(&self, extra: &[&str]) -> Output {
+        run_lint(&self.root, extra)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memes-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn memes-lint")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("memes-lint terminated by signal")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn clean_workspace_exits_zero_and_writes_valid_report() {
+    let ws = Scratch::new("clean", CLEAN_LIB);
+    let out = ws.lint(&[]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    let report = fs::read_to_string(ws.root.join("lint-report.json")).expect("report written");
+    validate_lint_report(&report).expect("report validates against its schema");
+}
+
+#[test]
+fn findings_without_deny_new_exit_one() {
+    let ws = Scratch::new("plain-violation", ONE_PANIC);
+    let out = ws.lint(&[]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("panic-in-pipeline"),
+        "diagnostic names the rule: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn ratchet_grandfathers_baselined_findings_and_catches_new_ones() {
+    let ws = Scratch::new("ratchet", ONE_PANIC);
+
+    // Step 1: adopt the current findings as the baseline.
+    let out = ws.lint(&["--fix-baseline"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(ws.root.join("lint-baseline.json").is_file());
+
+    // Step 2: unchanged tree passes the gate — the finding is
+    // grandfathered, not gone.
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("1 grandfathered"),
+        "summary counts the grandfathered finding: {}",
+        stderr(&out)
+    );
+
+    // Step 3: a new violation on top of the baseline fails the gate,
+    // and only the new one is printed.
+    ws.write_lib(TWO_PANICS);
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("expect"), "new finding is reported: {err}");
+    assert!(
+        !err.lines()
+            .any(|l| l.contains("unwrap()") && l.contains(":2:")),
+        "grandfathered finding is not re-reported: {err}"
+    );
+
+    // Step 4: fixing the new violation restores a passing gate.
+    ws.write_lib(ONE_PANIC);
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    // Step 5: ratcheting down — fix everything, refresh the baseline,
+    // and the old violation can never silently return.
+    ws.write_lib(CLEAN_LIB);
+    let out = ws.lint(&["--fix-baseline"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    ws.write_lib(ONE_PANIC);
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "reintroduced finding fails the tightened gate"
+    );
+}
+
+#[test]
+fn report_statuses_reflect_the_baseline_split() {
+    let ws = Scratch::new("report-status", ONE_PANIC);
+    let out = ws.lint(&["--fix-baseline"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    ws.write_lib(TWO_PANICS);
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(exit_code(&out), 1);
+
+    let report = fs::read_to_string(ws.root.join("lint-report.json")).expect("report written");
+    validate_lint_report(&report).expect("report validates");
+    assert!(
+        report.contains("\"grandfathered\""),
+        "old finding keeps its status"
+    );
+    assert!(report.contains("\"new\""), "new finding is marked new");
+}
+
+#[test]
+fn corrupt_baseline_is_operational_failure() {
+    let ws = Scratch::new("corrupt-baseline", ONE_PANIC);
+    fs::write(ws.root.join("lint-baseline.json"), "not json at all").expect("write junk");
+    let out = ws.lint(&["--deny-new"]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn unreadable_root_is_operational_failure() {
+    let missing =
+        std::env::temp_dir().join(format!("memes-lint-no-such-root-{}", std::process::id()));
+    let out = run_lint(&missing, &[]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn bad_usage_is_operational_failure() {
+    let ws = Scratch::new("bad-usage", CLEAN_LIB);
+    assert_eq!(exit_code(&ws.lint(&["--no-such-flag"])), 2);
+    assert_eq!(exit_code(&ws.lint(&["--deny-new", "--fix-baseline"])), 2);
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let ws = Scratch::new("list-rules", CLEAN_LIB);
+    let out = ws.lint(&["--list-rules"]);
+    assert_eq!(exit_code(&out), 0);
+    let listing = String::from_utf8_lossy(&out.stdout).into_owned();
+    for id in meme_analysis::all_rule_ids() {
+        assert!(listing.contains(id), "`{id}` missing from --list-rules");
+    }
+}

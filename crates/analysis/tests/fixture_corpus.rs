@@ -1,0 +1,150 @@
+//! Drives the fixture corpus under `tests/fixtures/`.
+//!
+//! Each rule directory holds `ok.rs` (known-good idioms — must lint
+//! clean) and `bad.rs` (known violations). Expected findings in
+//! `bad.rs` are declared inline with `//~ <rule>` markers on the
+//! offending line; `//~ <rule> @ <col>` additionally pins the exact
+//! 1-based column, so diagnostic spans are locked down, not just
+//! counts. Fixtures are lexed-only data files — the workspace walker
+//! skips `fixtures` directories, and cargo never compiles them.
+
+use meme_analysis::{Engine, SourceFile};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// (fixture directory, synthetic workspace path) — the path places the
+/// fixture inside a crate the rule under test is scoped to.
+const FIXTURES: [(&str, &str); 7] = [
+    ("nondeterministic-iteration", "crates/core/src/fixture.rs"),
+    ("panic-in-pipeline", "crates/core/src/fixture.rs"),
+    ("untyped-error", "crates/core/src/fixture.rs"),
+    ("wallclock-outside-metrics", "crates/core/src/fixture.rs"),
+    ("unseeded-rng", "crates/simweb/src/fixture.rs"),
+    ("float-eq", "crates/stats/src/fixture.rs"),
+    ("suppressions", "crates/core/src/fixture.rs"),
+];
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// One `//~` marker: the expected rule, line, and (optionally) column.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Expected {
+    line: u32,
+    rule: String,
+    col: Option<u32>,
+}
+
+fn parse_markers(text: &str) -> Vec<Expected> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        let spec = line[pos + 3..].trim();
+        let (rule, col) = match spec.split_once('@') {
+            Some((r, c)) => (
+                r.trim().to_string(),
+                Some(c.trim().parse::<u32>().expect("column in marker")),
+            ),
+            None => (spec.to_string(), None),
+        };
+        out.push(Expected {
+            line: i as u32 + 1,
+            rule,
+            col,
+        });
+    }
+    out
+}
+
+fn lint_fixture(dir: &str, synthetic_path: &str, which: &str) -> (Vec<Expected>, String) {
+    let path = fixture_root().join(dir).join(which);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let file = SourceFile::new(synthetic_path, text);
+    let findings = Engine::new().lint_source(&file);
+    let got: Vec<Expected> = findings
+        .iter()
+        .map(|f| Expected {
+            line: f.line,
+            rule: f.rule.clone(),
+            col: Some(f.col),
+        })
+        .collect();
+    let rendered = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    (got, rendered)
+}
+
+#[test]
+fn ok_fixtures_lint_clean() {
+    for (dir, synthetic) in FIXTURES {
+        let (got, rendered) = lint_fixture(dir, synthetic, "ok.rs");
+        assert!(
+            got.is_empty(),
+            "{dir}/ok.rs should lint clean, got:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_match_their_markers_exactly() {
+    for (dir, synthetic) in FIXTURES {
+        let path = fixture_root().join(dir).join("bad.rs");
+        let text = fs::read_to_string(&path).expect("bad.rs exists for every rule");
+        let mut expected = parse_markers(&text);
+        assert!(!expected.is_empty(), "{dir}/bad.rs declares no markers");
+        let (mut got, rendered) = lint_fixture(dir, synthetic, "bad.rs");
+
+        // Compare (line, rule) sets exactly: every marker fires, and
+        // nothing unmarked fires.
+        let mut got_pairs: Vec<(u32, String)> =
+            got.iter().map(|e| (e.line, e.rule.clone())).collect();
+        let mut want_pairs: Vec<(u32, String)> =
+            expected.iter().map(|e| (e.line, e.rule.clone())).collect();
+        got_pairs.sort();
+        want_pairs.sort();
+        assert_eq!(
+            want_pairs, got_pairs,
+            "{dir}/bad.rs marker mismatch; linter said:\n{rendered}"
+        );
+
+        // Where a marker pins a column, the diagnostic span must match
+        // it exactly.
+        expected.sort();
+        got.sort();
+        for want in expected.iter().filter(|e| e.col.is_some()) {
+            assert!(
+                got.iter()
+                    .any(|g| g.line == want.line && g.rule == want.rule && g.col == want.col),
+                "{dir}/bad.rs line {}: expected [{}] at column {:?}, linter said:\n{rendered}",
+                want.line,
+                want.rule,
+                want.col,
+            );
+        }
+    }
+}
+
+#[test]
+fn every_content_rule_has_a_fixture_pair() {
+    let root = fixture_root();
+    for rule in meme_analysis::builtin_rules() {
+        let dir = root.join(rule.id());
+        assert!(
+            dir.join("ok.rs").is_file() && dir.join("bad.rs").is_file(),
+            "rule `{}` is missing its ok.rs/bad.rs fixture pair",
+            rule.id()
+        );
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: direct float equality in numeric code. Linted as
+// `crates/stats/src/fixture.rs`.
+
+pub fn literal_compare(q: f64) -> bool {
+    q == 0.0 //~ float-eq @ 7
+}
+
+pub fn literal_on_left(q: f64) -> bool {
+    1.0 != q //~ float-eq @ 9
+}
+
+pub fn annotated_operands(a: f64, b: f64) -> bool {
+    a == b //~ float-eq
+}
+
+pub fn expression_against_zero(x: f64, y: f64) -> bool {
+    x + y == 0.0 //~ float-eq
+}

@@ -1,0 +1,24 @@
+// Fixture: HashMap/HashSet iteration order escaping into ordered
+// collections. Linted as `crates/core/src/fixture.rs`.
+use std::collections::{HashMap, HashSet};
+
+pub fn keys_without_sort(m: HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect() //~ nondeterministic-iteration @ 7
+}
+
+pub fn values_without_sort(m: HashMap<String, u64>) -> Vec<u64> {
+    m.values().copied().collect() //~ nondeterministic-iteration
+}
+
+pub fn set_iter_without_sort(s: HashSet<u64>) -> Vec<u64> {
+    s.iter().copied().collect() //~ nondeterministic-iteration
+}
+
+pub fn drain_without_sort(mut m: HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    m.drain().collect() //~ nondeterministic-iteration
+}
+
+pub fn bound_then_never_sorted(m: HashMap<u64, u64>) -> Vec<u64> {
+    let v: Vec<u64> = m.keys().copied().collect(); //~ nondeterministic-iteration
+    v
+}

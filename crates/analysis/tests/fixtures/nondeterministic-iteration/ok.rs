@@ -1,0 +1,35 @@
+// Fixture: the sanctioned ways to consume HashMap/HashSet contents.
+// Linted as `crates/core/src/fixture.rs`; must produce zero findings.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn sorted_after_collect(m: HashMap<String, u64>) -> Vec<String> {
+    let mut v: Vec<String> = m.keys().cloned().collect();
+    v.sort();
+    v
+}
+
+pub fn sorted_unstable_after_collect(m: HashMap<u64, u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.values().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn recollected_into_map(m: HashMap<u64, u64>) -> HashSet<u64> {
+    m.keys().copied().collect::<HashSet<u64>>()
+}
+
+pub fn recollected_into_btree(m: HashMap<String, u64>) -> BTreeMap<String, u64> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+pub fn order_insensitive_fold(m: HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn plain_vec_collect(v: Vec<u64>) -> Vec<u64> {
+    v.iter().copied().collect()
+}

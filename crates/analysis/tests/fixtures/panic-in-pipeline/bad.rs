@@ -1,0 +1,31 @@
+// Fixture: panicking shortcuts in pipeline hot paths. Linted as
+// `crates/core/src/fixture.rs`.
+
+pub fn unwrap_in_hot_path(x: Option<u64>) -> u64 {
+    x.unwrap() //~ panic-in-pipeline @ 7
+}
+
+pub fn expect_in_hot_path(x: Option<u64>) -> u64 {
+    x.expect("should be there") //~ panic-in-pipeline
+}
+
+pub fn panic_macro(cond: bool) {
+    if cond {
+        panic!("boom"); //~ panic-in-pipeline @ 9
+    }
+}
+
+pub fn unreachable_macro(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!("callers pass zero"), //~ panic-in-pipeline
+    }
+}
+
+pub fn todo_macro() {
+    todo!() //~ panic-in-pipeline
+}
+
+pub fn literal_index(parts: &[u64]) -> u64 {
+    parts[0] //~ panic-in-pipeline @ 10
+}

@@ -1,0 +1,20 @@
+// Fixture: entropy-sourced randomness in the simulators. Linted as
+// `crates/simweb/src/fixture.rs`.
+
+pub fn thread_local_rng() -> u64 {
+    let mut rng = thread_rng(); //~ unseeded-rng @ 19
+    rng.next_u64()
+}
+
+pub fn entropy_seeded() -> StdRng {
+    StdRng::from_entropy() //~ unseeded-rng
+}
+
+pub fn os_rng_direct() -> u64 {
+    let mut rng = OsRng; //~ unseeded-rng @ 19
+    rng.next_u64()
+}
+
+pub fn free_random() -> f64 {
+    rand::random() //~ unseeded-rng
+}

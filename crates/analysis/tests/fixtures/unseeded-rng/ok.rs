@@ -1,0 +1,26 @@
+// Fixture: the sanctioned seed-derived construction path. Linted as
+// `crates/simweb/src/fixture.rs`; must produce zero findings.
+
+pub fn from_config_seed(seed: u64) -> StdRng {
+    seeded_rng(child_seed(seed, 0x5EED))
+}
+
+pub fn explicit_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn seeded_constructor_named_random(seed: u64) -> VariantGenome {
+    VariantGenome::random(template(), child_seed(seed, 1), 2)
+}
+
+pub fn method_named_random(sampler: &Sampler) -> f64 {
+    sampler.random()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_entropy() {
+        let _rng = thread_rng();
+    }
+}

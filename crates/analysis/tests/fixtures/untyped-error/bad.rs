@@ -1,0 +1,20 @@
+// Fixture: stringly-typed errors escaping public APIs. Linted as
+// `crates/core/src/fixture.rs`.
+
+pub fn string_error() -> Result<(), String> { //~ untyped-error @ 37
+    Ok(())
+}
+
+pub fn boxed_dyn_error() -> Result<u64, Box<dyn std::error::Error>> { //~ untyped-error
+    Ok(1)
+}
+
+pub fn nested_ok_type(x: u64) -> Result<Vec<(u64, String)>, String> { //~ untyped-error
+    Ok(vec![(x, String::new())])
+}
+
+pub fn stringified_map_err(path: &str) -> Result<u64, PipelineError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| e.to_string()) //~ untyped-error @ 10
+        .and_then(parse)
+}

@@ -1,0 +1,23 @@
+// Fixture: the typed-error taxonomy in use. Linted as
+// `crates/core/src/fixture.rs`; must produce zero findings.
+
+pub fn typed_error() -> Result<(), PipelineError> {
+    Ok(())
+}
+
+pub fn qualified_typed_error(x: u64) -> Result<u64, crate::error::IndexError> {
+    Ok(x)
+}
+
+pub fn nested_generics(m: &Data) -> Result<HashMap<String, u64>, ClusterError> {
+    m.summarize()
+}
+
+pub fn wrapped_map_err(path: &str) -> Result<String, PipelineError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| PipelineError::CheckpointIo(format!("read {path}: {e}")))
+}
+
+pub fn ok_type_may_be_string(x: u64) -> Result<String, AnnotateError> {
+    Ok(x.to_string())
+}

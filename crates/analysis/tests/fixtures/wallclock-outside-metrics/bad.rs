@@ -1,0 +1,19 @@
+// Fixture: wall-clock reads in algorithm code. Linted as
+// `crates/core/src/fixture.rs`.
+use std::time::{Instant, SystemTime};
+
+pub fn timed_stage() -> f64 {
+    let start = Instant::now(); //~ wallclock-outside-metrics @ 17
+    let out = heavy_work();
+    let _ = out;
+    start.elapsed().as_secs_f64()
+}
+
+pub fn stamped_output() -> u64 {
+    let now = SystemTime::now(); //~ wallclock-outside-metrics
+    to_unix(now)
+}
+
+pub fn fully_qualified() -> std::time::Instant {
+    std::time::Instant::now() //~ wallclock-outside-metrics @ 16
+}

@@ -1,0 +1,23 @@
+// Fixture: time handled the sanctioned ways. Linted as
+// `crates/core/src/fixture.rs`; must produce zero findings.
+use std::time::{Duration, Instant};
+
+pub fn duration_arithmetic(started: Instant) -> Duration {
+    started.elapsed()
+}
+
+pub fn span_based_timing(metrics: &Metrics) {
+    let span = metrics.span("stage");
+    heavy_work();
+    span.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _t = Instant::now();
+    }
+}

@@ -136,13 +136,8 @@ pub fn annotate_clusters(medoids: &[PHash], site: &KymSite, theta: u32) -> Vec<C
                 .collect();
             matches.sort_by(|a, b| {
                 b.proportion()
-                    .partial_cmp(&a.proportion())
-                    .expect("finite proportions")
-                    .then(
-                        a.avg_distance
-                            .partial_cmp(&b.avg_distance)
-                            .expect("finite distances"),
-                    )
+                    .total_cmp(&a.proportion())
+                    .then(a.avg_distance.total_cmp(&b.avg_distance))
                     .then(a.entry_id.cmp(&b.entry_id))
             });
             let representative = matches.first().map(|m| m.entry_id);

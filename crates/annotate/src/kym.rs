@@ -166,7 +166,9 @@ impl KymSite {
             .into_iter()
             .map(|(k, v)| (k.to_string(), 100.0 * v as f64 / n))
             .collect();
-        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        // total_cmp + name tiebreak: `counts` is a HashMap, so without
+        // the tiebreak equal shares surfaced in hasher order.
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         shares
     }
 

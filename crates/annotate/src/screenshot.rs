@@ -266,7 +266,7 @@ impl ClassifierMetrics {
 
         // ROC by sweeping thresholds over sorted scores.
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         let mut roc = vec![(0.0, 0.0)];
         let (mut tpc, mut fpc) = (0.0f64, 0.0f64);
         let mut auc = 0.0;
@@ -314,6 +314,7 @@ impl ScreenshotFilter {
     /// Panics when training diverges; use
     /// [`ScreenshotFilter::try_train`] to handle that case.
     pub fn train(corpus: &ScreenshotCorpus, config: &TrainConfig) -> (Self, ClassifierMetrics) {
+        // lint:allow(panic-in-pipeline): documented panicking wrapper; try_train is the fallible API
         Self::try_train(corpus, config).expect("CNN training diverged")
     }
 

@@ -76,7 +76,9 @@ impl Phylogeny {
             let branch_b = (m.height - hb).max(0.0);
             repr.push((format!("({sa}:{branch_a:.4},{sb}:{branch_b:.4})"), m.height));
         }
-        let root = repr.last().expect("at least one node").0.clone();
+        // An empty dendrogram (no labels, no merges) renders as the
+        // empty tree `;` instead of panicking.
+        let root = repr.last().map(|(s, _)| s.clone()).unwrap_or_default();
         let _ = n;
         format!("{root};")
     }

@@ -65,11 +65,13 @@ impl BkTreeIndex {
                         node.duplicates.push(item);
                         return;
                     }
-                    if node.children[d].is_none() {
-                        node.children[d] = Some(Box::new(Node::new(hash, item)));
-                        return;
-                    }
-                    node = node.children[d].as_mut().expect("checked above");
+                    node = match &mut node.children[d] {
+                        Some(child) => child,
+                        slot => {
+                            *slot = Some(Box::new(Node::new(hash, item)));
+                            return;
+                        }
+                    };
                 }
             }
         }

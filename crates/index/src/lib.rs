@@ -103,6 +103,7 @@ pub fn all_neighbors<I: HammingIndex + Sync>(
                 });
             }
         })
+        // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
         .expect("worker thread panicked");
     }
     result

@@ -23,7 +23,13 @@
 //! estimation under it, and writes the registry JSON (DESIGN.md §7) to
 //! PATH. `validate-metrics FILE` checks such a file against the schema
 //! and exits non-zero on any violation — the CI smoke check.
+//!
+//! Exit codes follow the workspace convention shared with `memes-lint`
+//! ([`Exit`]): `0` clean, `1` violations (the validated artifact failed
+//! its check), `2` operational failure (unreadable/unwritable files,
+//! bad usage, a pipeline run that did not complete).
 
+use meme_analysis::Exit;
 use origins_of_memes::core::graph::{ClusterGraph, GraphConfig};
 use origins_of_memes::core::metric::ClusterDistance;
 use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
@@ -125,7 +131,7 @@ fn main() -> ExitCode {
             if e != usage() {
                 eprintln!("{}", usage());
             }
-            return ExitCode::FAILURE;
+            return Exit::Operational.into();
         }
     };
     if args.command == "validate-metrics" {
@@ -134,7 +140,7 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return Exit::Operational.into();
             }
         };
         return match validate_metrics_json(&text) {
@@ -143,11 +149,11 @@ fn main() -> ExitCode {
                     "{path}: valid metrics JSON (schema v{})",
                     origins_of_memes::metrics::SCHEMA_VERSION
                 );
-                ExitCode::SUCCESS
+                Exit::Clean.into()
             }
             Err(e) => {
                 eprintln!("{path}: invalid metrics JSON: {e}");
-                ExitCode::FAILURE
+                Exit::Violations.into()
             }
         };
     }
@@ -157,7 +163,7 @@ fn main() -> ExitCode {
     ) {
         eprintln!("unknown command {}", args.command);
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return Exit::Operational.into();
     }
     let dataset = SimConfig::new(args.scale, args.seed).generate();
     eprintln!(
@@ -174,13 +180,13 @@ fn main() -> ExitCode {
                 let json = serde_json::to_string(&dataset).expect("dataset serializes");
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return Exit::Operational.into();
                 }
                 eprintln!("wrote {path}");
             } else {
                 eprintln!("(pass --out to save the dataset as JSON)");
             }
-            ExitCode::SUCCESS
+            Exit::Clean.into()
         }
         cmd @ ("run" | "resume" | "influence" | "graph") => {
             let config = PipelineConfig {
@@ -216,11 +222,11 @@ fn main() -> ExitCode {
                 Ok(RunnerOutcome::Complete(o)) => *o,
                 Ok(RunnerOutcome::Halted { after }) => {
                     eprintln!("pipeline halted after stage `{after}`");
-                    return ExitCode::FAILURE;
+                    return Exit::Operational.into();
                 }
                 Err(e) => {
                     eprintln!("pipeline failed: {e}");
-                    return ExitCode::FAILURE;
+                    return Exit::Operational.into();
                 }
             };
             eprintln!(
@@ -237,7 +243,7 @@ fn main() -> ExitCode {
                     if let Some(path) = &args.out {
                         if let Err(e) = std::fs::write(path, output.to_json()) {
                             eprintln!("cannot write {path}: {e}");
-                            return ExitCode::FAILURE;
+                            return Exit::Operational.into();
                         }
                         eprintln!("wrote {path}");
                     }
@@ -252,7 +258,7 @@ fn main() -> ExitCode {
                         }
                         if let Err(e) = std::fs::write(path, registry.to_json()) {
                             eprintln!("cannot write {path}: {e}");
-                            return ExitCode::FAILURE;
+                            return Exit::Operational.into();
                         }
                         eprintln!("wrote {path}");
                     }
@@ -312,7 +318,7 @@ fn main() -> ExitCode {
                         Some(path) => {
                             if let Err(e) = std::fs::write(path, graph.to_dot()) {
                                 eprintln!("cannot write {path}: {e}");
-                                return ExitCode::FAILURE;
+                                return Exit::Operational.into();
                             }
                             eprintln!("wrote {path}");
                         }
@@ -321,7 +327,7 @@ fn main() -> ExitCode {
                 }
                 _ => unreachable!(),
             }
-            ExitCode::SUCCESS
+            Exit::Clean.into()
         }
         _ => unreachable!("command validated before dataset generation"),
     }

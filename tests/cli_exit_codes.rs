@@ -1,0 +1,79 @@
+//! The `memes` binary follows the workspace exit-code convention shared
+//! with `memes-lint`: `0` clean, `1` violations (the validated artifact
+//! failed its check), `2` operational failure (unreadable files, bad
+//! usage). These tests pin the `validate-metrics` subcommand to it.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn memes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memes"))
+        .args(args)
+        .output()
+        .expect("spawn memes")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("memes terminated by signal")
+}
+
+fn tmp_file(tag: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("memes-cli-{tag}-{}.json", std::process::id()));
+    fs::write(&path, content).expect("write temp metrics file");
+    path
+}
+
+#[test]
+fn validate_metrics_accepts_a_real_registry_export() {
+    // An empty registry is the smallest schema-valid export.
+    let registry = origins_of_memes::metrics::Registry::new();
+    let path = tmp_file("valid", &registry.to_json());
+    let out = memes(&["validate-metrics", path.to_str().unwrap()]);
+    let _ = fs::remove_file(&path);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn invalid_metrics_content_exits_one() {
+    let path = tmp_file("invalid", "{\"schema_version\": 9999}");
+    let out = memes(&["validate-metrics", path.to_str().unwrap()]);
+    let _ = fs::remove_file(&path);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unreadable_metrics_file_exits_two() {
+    let missing = std::env::temp_dir().join(format!(
+        "memes-cli-no-such-file-{}.json",
+        std::process::id()
+    ));
+    let out = memes(&["validate-metrics", missing.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    assert_eq!(exit_code(&memes(&[])), 2, "no subcommand");
+    assert_eq!(exit_code(&memes(&["validate-metrics"])), 2, "missing FILE");
+    assert_eq!(
+        exit_code(&memes(&["no-such-command"])),
+        2,
+        "unknown command"
+    );
+    assert_eq!(
+        exit_code(&memes(&["run", "--no-such-flag"])),
+        2,
+        "unknown flag"
+    );
+}
