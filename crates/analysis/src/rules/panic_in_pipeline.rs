@@ -18,7 +18,7 @@ use crate::lexer::TokenKind;
 use crate::source::{FileClass, SourceFile};
 
 /// Crates whose lib code must stay panic-free.
-const SCOPED_CRATES: [&str; 3] = ["core", "index", "annotate"];
+const SCOPED_CRATES: [&str; 4] = ["core", "index", "annotate", "cluster"];
 
 /// Panicking macros.
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];

@@ -8,15 +8,23 @@
 //!   influence estimation, at the harness scale/seed;
 //! * **`BENCH_clustering.json`** — the Steps 2–3 kernel isolated: the
 //!   same synthetic corpus pushed through each Hamming engine (build +
-//!   `all_neighbors` spans, neighbor-pair counters), then DBSCAN.
+//!   `all_neighbors` spans, neighbor-pair counters), then DBSCAN;
+//! * **`BENCH_index.json`** — the CSR query engine vs the frozen
+//!   pre-CSR engine ([`crate::legacy`]): build time and `all_neighbors`
+//!   throughput at N ∈ {1k, 10k, 50k}, eps = 8, duplicate fractions
+//!   {0%, 50%, 90%}, with explicit speedup-ratio gauges.
 //!
-//! Both validate with `memes validate-metrics` (the wrapper form), so
+//! All validate with `memes validate-metrics` (the wrapper form), so
 //! CI can archive them as trend baselines.
 
+use crate::legacy::{legacy_all_neighbors, LegacyMihIndex};
 use meme_core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
 use meme_core::runner::PipelineRunner;
 use meme_hawkes::InfluenceEstimator;
-use meme_index::{all_neighbors, BkTreeIndex, BruteForceIndex, HammingIndex, MihIndex};
+use meme_index::{
+    all_neighbors, symmetric_neighbors, BkTreeIndex, BruteForceIndex, HammingIndex, HashGroups,
+    MihIndex,
+};
 use meme_metrics::{Metrics, Registry};
 use meme_phash::PHash;
 use meme_simweb::{Community, SimConfig, SimScale};
@@ -155,6 +163,117 @@ pub fn clustering_baseline(seed: u64, threads: usize) -> String {
     wrap("clustering", "synthetic", seed, &registry.to_json())
 }
 
+/// The `BENCH_index.json` grid: corpus sizes × duplicate fractions.
+const INDEX_BENCH_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+const INDEX_BENCH_DUP_PCTS: [usize; 3] = [0, 50, 90];
+
+/// A corpus of `n` hashes where `dup_pct` percent of the items are
+/// exact copies of earlier items. The distinct base is the planted
+/// clustered corpus (families within eps plus background noise), and
+/// copies are spread round-robin over it so no single value dominates —
+/// the regime where the pre-change engine ran MIH, not its brute-force
+/// degenerate fallback.
+fn duplicated_corpus(seed: u64, n: usize, dup_pct: usize) -> Vec<PHash> {
+    let n_dups = n * dup_pct / 100;
+    let n_base = n - n_dups;
+    let families = (n_base / 30).max(1);
+    let mut base = clustered_corpus(
+        seed,
+        families,
+        n_base.saturating_sub(families * (MIN_PTS + 2)),
+    );
+    base.truncate(n_base);
+    let mut rng = seeded_rng(seed ^ 0xD0D0);
+    let mut out = base.clone();
+    for _ in 0..n - out.len() {
+        out.push(base[rng.random_range(0..base.len())]);
+    }
+    out
+}
+
+/// One cell of the index-engine comparison: the frozen legacy engine
+/// and the CSR + dedup + symmetric engine over the same corpus, under
+/// `index/<n>/<dup>/…` spans, with throughput and speedup gauges.
+fn timed_index_cell(metrics: &Metrics, seed: u64, n: usize, dup_pct: usize, threads: usize) {
+    let hashes = duplicated_corpus(seed, n, dup_pct);
+    let tag = format!("{n}x{dup_pct}");
+    metrics.add(&format!("index_bench.{tag}.items"), hashes.len() as u64);
+
+    let span = metrics.span(&format!("index/{tag}/legacy_build"));
+    let legacy = LegacyMihIndex::new(hashes.clone(), EPS);
+    span.finish();
+    let span = metrics.span(&format!("index/{tag}/legacy_all_neighbors"));
+    let legacy_neighbors = legacy_all_neighbors(&legacy, EPS, threads);
+    let legacy_elapsed = span.finish();
+
+    let span = metrics.span(&format!("index/{tag}/csr_build"));
+    let groups = HashGroups::new(&hashes);
+    let index = MihIndex::new(groups.unique().to_vec(), EPS);
+    let csr_build = span.finish();
+    let span = metrics.span(&format!("index/{tag}/csr_all_neighbors"));
+    let (csr_neighbors, stats) = symmetric_neighbors(&index, &groups, EPS, threads);
+    let csr_elapsed = span.finish();
+
+    // A speedup over different answers would be meaningless.
+    assert_eq!(csr_neighbors, legacy_neighbors, "CSR diverged from legacy");
+
+    metrics.add(
+        &format!("index_bench.{tag}.unique_hashes"),
+        stats.unique as u64,
+    );
+    metrics.add(
+        &format!("index_bench.{tag}.unique_pairs"),
+        stats.unique_pairs,
+    );
+    metrics.add(&format!("index_bench.{tag}.verified"), stats.verified);
+    metrics.gauge(
+        &format!("index_bench.{tag}.collapse_ratio"),
+        groups.collapse_ratio(),
+    );
+    metrics.gauge(
+        &format!("index_bench.{tag}.memory_bytes"),
+        index.memory_bytes() as f64,
+    );
+    if legacy_elapsed > 0.0 {
+        metrics.gauge(
+            &format!("index_bench.{tag}.legacy_queries_per_sec"),
+            n as f64 / legacy_elapsed,
+        );
+    }
+    if csr_elapsed > 0.0 {
+        metrics.gauge(
+            &format!("index_bench.{tag}.csr_queries_per_sec"),
+            n as f64 / csr_elapsed,
+        );
+        metrics.gauge(
+            &format!("index_bench.{tag}.speedup_all_neighbors"),
+            legacy_elapsed / csr_elapsed,
+        );
+    }
+    if csr_build > 0.0 {
+        metrics.gauge(
+            &format!("index_bench.{tag}.csr_builds_per_sec"),
+            1.0 / csr_build,
+        );
+    }
+}
+
+/// Compare the CSR engine against the frozen pre-CSR engine over the
+/// size × duplicate-fraction grid; return the `BENCH_index.json`
+/// document. `max_n` caps the corpus size (CI smoke runs pass a cap;
+/// the committed baseline uses `usize::MAX`).
+pub fn index_baseline(seed: u64, threads: usize, max_n: usize) -> String {
+    let registry = Arc::new(Registry::new());
+    let metrics = Metrics::from_registry(Arc::clone(&registry));
+    metrics.add("index_bench.eps", EPS as u64);
+    for &n in INDEX_BENCH_SIZES.iter().filter(|&&n| n <= max_n) {
+        for &dup_pct in &INDEX_BENCH_DUP_PCTS {
+            timed_index_cell(&metrics, seed, n, dup_pct, threads);
+        }
+    }
+    wrap("index", "synthetic", seed, &registry.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +286,38 @@ mod tests {
         assert!(doc.contains("\"schema_version\""));
         assert!(doc.contains("clustering/mih/all_neighbors"));
         assert!(doc.contains("clustering.clusters"));
+    }
+
+    #[test]
+    fn index_baseline_reports_speedups_at_reduced_scale() {
+        // Capped at 1k so the test stays fast; the grid logic, span
+        // names, and equality assertion are identical at full scale.
+        let doc = index_baseline(7, 2, 1_000);
+        for needle in [
+            "\"bench\": \"index\"",
+            "index/1000x0/legacy_all_neighbors",
+            "index/1000x90/csr_all_neighbors",
+            "index_bench.1000x50.collapse_ratio",
+            "index_bench.1000x90.speedup_all_neighbors",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}");
+        }
+        assert!(!doc.contains("index/10000x0"), "cap ignored");
+    }
+
+    #[test]
+    fn duplicated_corpus_hits_requested_fraction() {
+        for &pct in &INDEX_BENCH_DUP_PCTS {
+            let corpus = duplicated_corpus(3, 1_000, pct);
+            assert_eq!(corpus.len(), 1_000);
+            let groups = HashGroups::new(&corpus);
+            // Unique count can only be at most the non-duplicate base
+            // (families add further collisions only by chance).
+            assert!(groups.len_unique() <= 1_000 - 1_000 * pct / 100);
+            if pct >= 50 {
+                assert!(groups.collapse_ratio() <= 0.55, "pct {pct}");
+            }
+        }
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! bench-baselines [--scale tiny|small|default] [--seed N]
-//!                 [--threads N] [--out-dir DIR]
+//!                 [--threads N] [--out-dir DIR] [--index-max-n N]
 //! ```
 //!
 //! Writes `BENCH_pipeline.json` (full pipeline + Step-7 influence under
-//! per-stage spans) and `BENCH_clustering.json` (per-engine build /
-//! `all_neighbors` / DBSCAN timings) into `--out-dir` (default: the
-//! current directory). Both files pass `memes validate-metrics`.
+//! per-stage spans), `BENCH_clustering.json` (per-engine build /
+//! `all_neighbors` / DBSCAN timings), and `BENCH_index.json` (CSR query
+//! engine vs the frozen legacy engine over the N × duplicate-fraction
+//! grid; `--index-max-n` caps the grid for smoke runs) into `--out-dir`
+//! (default: the current directory). All files pass
+//! `memes validate-metrics`.
 
-use meme_bench::baseline::{clustering_baseline, pipeline_baseline};
+use meme_bench::baseline::{clustering_baseline, index_baseline, pipeline_baseline};
 use meme_bench::harness::Options;
 use std::path::Path;
 use std::process::ExitCode;
@@ -46,5 +49,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[bench-baselines] wrote {}", clustering_path.display());
+
+    eprintln!("[bench-baselines] index baseline (seed {})...", opts.seed);
+    let index = index_baseline(opts.seed, opts.threads, opts.index_max_n);
+    let index_path = Path::new(&dir).join("BENCH_index.json");
+    if let Err(e) = std::fs::write(&index_path, index) {
+        eprintln!("cannot write {}: {e}", index_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench-baselines] wrote {}", index_path.display());
     ExitCode::SUCCESS
 }

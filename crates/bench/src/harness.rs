@@ -18,12 +18,15 @@ pub struct Options {
     /// Output directory for binaries that persist artifacts
     /// (`bench-baselines`); `None` means the current directory.
     pub out_dir: Option<String>,
+    /// Cap on the index-benchmark corpus size (`bench-baselines`);
+    /// lets CI smoke runs skip the largest grid cells.
+    pub index_max_n: usize,
 }
 
 impl Options {
     /// Parse from `std::env::args`. Recognized flags:
     /// `--scale tiny|small|default`, `--seed N`, `--train-filter`,
-    /// `--threads N`, `--out-dir DIR`.
+    /// `--threads N`, `--out-dir DIR`, `--index-max-n N`.
     pub fn from_args() -> Self {
         let mut opts = Self {
             scale: SimScale::Small,
@@ -31,6 +34,7 @@ impl Options {
             train_filter: false,
             threads: 0,
             out_dir: None,
+            index_max_n: usize::MAX,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -63,6 +67,13 @@ impl Options {
                 "--out-dir" => {
                     i += 1;
                     opts.out_dir = args.get(i).cloned();
+                }
+                "--index-max-n" => {
+                    i += 1;
+                    opts.index_max_n = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(usize::MAX);
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }

@@ -1,0 +1,165 @@
+//! Frozen pre-CSR Hamming engine — the speedup denominator.
+//!
+//! `BENCH_index.json` reports the CSR engine's throughput as a ratio
+//! against "the engine this change replaced". A ratio computed against a
+//! remembered number from another machine is folklore; a ratio computed
+//! against code that still compiles is a measurement. This module is a
+//! verbatim-behaviour copy of the old `meme_index::MihIndex` (per-band
+//! `HashMap<u64, Vec<usize>>` tables, per-query allocate + `sort +
+//! dedup + retain`) and the old per-item `all_neighbors` driver (one
+//! full query per *item*, duplicates and mirrored pairs recomputed).
+//!
+//! It is deliberately **not** public API of the workspace: nothing
+//! outside the bench crate should ever run it. Do not "fix" or speed it
+//! up — its only job is to stay slow the way the old engine was slow.
+
+use meme_index::effective_threads;
+use meme_phash::PHash;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Band {
+    shift: u32,
+    width: u32,
+}
+
+impl Band {
+    #[inline]
+    fn extract(&self, h: PHash) -> u64 {
+        if self.width == 64 {
+            h.bits()
+        } else {
+            (h.bits() >> self.shift) & ((1u64 << self.width) - 1)
+        }
+    }
+}
+
+/// The old hash-map-banded MIH engine, frozen at the pre-CSR revision.
+#[derive(Debug, Clone)]
+pub struct LegacyMihIndex {
+    hashes: Vec<PHash>,
+    bands: Vec<Band>,
+    tables: Vec<HashMap<u64, Vec<usize>>>,
+    max_radius: u32,
+}
+
+impl LegacyMihIndex {
+    /// Build the legacy index (same banding split as the CSR engine).
+    pub fn new(hashes: Vec<PHash>, max_radius: u32) -> Self {
+        assert!(
+            max_radius < 64,
+            "MIH banding needs max_radius < 64; use brute force for larger radii"
+        );
+        let m = max_radius + 1;
+        let base = 64 / m;
+        let extra = 64 % m;
+        let mut bands = Vec::with_capacity(m as usize);
+        let mut shift = 0u32;
+        for i in 0..m {
+            let width = base + u32::from(i < extra);
+            bands.push(Band { shift, width });
+            shift += width;
+        }
+        debug_assert_eq!(shift, 64);
+
+        let mut tables: Vec<HashMap<u64, Vec<usize>>> = vec![HashMap::new(); m as usize];
+        for (i, &h) in hashes.iter().enumerate() {
+            for (b, band) in bands.iter().enumerate() {
+                tables[b].entry(band.extract(h)).or_default().push(i);
+            }
+        }
+        Self {
+            hashes,
+            bands,
+            tables,
+            max_radius,
+        }
+    }
+
+    /// Number of indexed hashes.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// The old query path: gather from hash-map buckets into a fresh
+    /// vector, then `sort_unstable + dedup + retain`.
+    pub fn radius_query(&self, query: PHash, radius: u32) -> Vec<usize> {
+        assert!(
+            radius <= self.max_radius,
+            "query radius {radius} exceeds index max_radius {}",
+            self.max_radius
+        );
+        let mut candidates: Vec<usize> = Vec::new();
+        for (b, band) in self.bands.iter().enumerate() {
+            if let Some(bucket) = self.tables[b].get(&band.extract(query)) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&i| query.distance(self.hashes[i]) <= radius);
+        candidates
+    }
+}
+
+/// The old pairwise driver: one full (allocating) radius query per
+/// *item* — duplicates and both directions of every pair recomputed.
+pub fn legacy_all_neighbors(
+    index: &LegacyMihIndex,
+    radius: u32,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let n = index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, n);
+    let chunk_len = n.div_ceil(threads);
+    let mut result: Vec<Vec<usize>> = vec![Vec::new(); n];
+    crossbeam::thread::scope(|s| {
+        for (chunk_id, chunk) in result.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move |_| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    let i = chunk_id * chunk_len + k;
+                    let mut neigh = index.radius_query(index.hashes[i], radius);
+                    neigh.retain(|&j| j != i);
+                    *slot = neigh;
+                }
+            });
+        }
+    })
+    .expect("legacy worker thread panicked");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meme_index::{all_neighbors, BruteForceIndex, HammingIndex};
+    use meme_stats::seeded_rng;
+    use rand::RngExt;
+
+    #[test]
+    fn legacy_engine_still_matches_current_engines() {
+        // The denominator must compute the same answers as the current
+        // engine, or the speedup ratio compares different work.
+        let mut rng = seeded_rng(21);
+        let mut hashes: Vec<PHash> = (0..300).map(|_| PHash(rng.random())).collect();
+        let dup = hashes[0];
+        hashes.extend(std::iter::repeat_n(dup, 100));
+        let legacy = LegacyMihIndex::new(hashes.clone(), 8);
+        let brute = BruteForceIndex::new(hashes.clone());
+        for &q in hashes.iter().take(30) {
+            assert_eq!(legacy.radius_query(q, 8), brute.radius_query(q, 8));
+        }
+        assert_eq!(
+            legacy_all_neighbors(&legacy, 8, 2),
+            all_neighbors(&brute, 8, 2)
+        );
+    }
+}

@@ -17,4 +17,5 @@
 pub mod ablations;
 pub mod baseline;
 pub mod harness;
+pub mod legacy;
 pub mod sections;

@@ -27,6 +27,23 @@ pub enum ClusterError {
         /// Number of items in the point set.
         len: usize,
     },
+    /// A cluster id has no members — impossible for a [`Clustering`]
+    /// produced by [`dbscan`], but reachable through deserialized
+    /// (e.g. checkpointed) label vectors whose `n_clusters` overcounts.
+    EmptyCluster {
+        /// The memberless cluster id.
+        cluster: usize,
+    },
+    /// An item carries a label outside `0..n_clusters` — again only
+    /// reachable through deserialized label vectors.
+    InvalidLabel {
+        /// The mislabeled item.
+        item: usize,
+        /// Its out-of-range label.
+        label: usize,
+        /// The clustering's declared cluster count.
+        n_clusters: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -40,6 +57,17 @@ impl fmt::Display for ClusterError {
             } => write!(
                 f,
                 "item {item} lists neighbour {neighbor}, but there are only {len} items"
+            ),
+            Self::EmptyCluster { cluster } => {
+                write!(f, "cluster {cluster} has no members")
+            }
+            Self::InvalidLabel {
+                item,
+                label,
+                n_clusters,
+            } => write!(
+                f,
+                "item {item} is labeled {label}, but there are only {n_clusters} clusters"
             ),
         }
     }
@@ -140,11 +168,49 @@ impl Clustering {
 
     /// Medoid item index of each cluster, given the item hashes
     /// (Step 5's cluster representative).
+    ///
+    /// # Panics
+    /// Panics when a cluster id has no members (only possible for
+    /// deserialized label vectors); [`Clustering::try_medoids`] returns
+    /// a typed error instead.
     pub fn medoids(&self, hashes: &[PHash]) -> Vec<usize> {
-        self.all_members()
-            .iter()
-            .map(|members| medoid_of_hashes(hashes, members).expect("clusters are non-empty"))
-            .collect()
+        match self.try_medoids(hashes) {
+            Ok(m) => m,
+            // lint:allow(panic-in-pipeline): documented panicking convenience over try_medoids
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible medoid computation: one checked bucketing pass over the
+    /// labels (no per-cluster rescans, no [`Clustering::all_members`]
+    /// indexing), then one medoid per cluster. Label vectors [`dbscan`]
+    /// never emits but a corrupt checkpoint can contain — out-of-range
+    /// labels, memberless cluster ids — surface as typed
+    /// [`ClusterError`]s instead of a panic.
+    pub fn try_medoids(&self, hashes: &[PHash]) -> Result<Vec<usize>, ClusterError> {
+        let mut members = vec![Vec::new(); self.n_clusters];
+        for (item, l) in self.labels.iter().enumerate() {
+            if let Some(label) = *l {
+                match members.get_mut(label) {
+                    Some(bucket) => bucket.push(item),
+                    None => {
+                        return Err(ClusterError::InvalidLabel {
+                            item,
+                            label,
+                            n_clusters: self.n_clusters,
+                        })
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(members.len());
+        for (cluster, members) in members.iter().enumerate() {
+            match medoid_of_hashes(hashes, members) {
+                Some(m) => out.push(m),
+                None => return Err(ClusterError::EmptyCluster { cluster }),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -160,6 +226,7 @@ impl Clustering {
 pub fn dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Clustering {
     match try_dbscan(neighbors, min_pts) {
         Ok(c) => c,
+        // lint:allow(panic-in-pipeline): documented panicking convenience over try_dbscan
         Err(e) => panic!("{e}"),
     }
 }
@@ -353,6 +420,38 @@ mod tests {
         let a = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 1);
         let b = dbscan_with_index(&idx, DbscanParams { eps: 6, min_pts: 3 }, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_medoids_matches_medoids_on_valid_clusterings() {
+        let edges = [(0, 1), (0, 2), (1, 2), (4, 5), (4, 6), (5, 6)];
+        let c = dbscan(&adjacency(7, &edges), 3);
+        let hashes: Vec<PHash> = (0..7).map(|i| PHash(1u64 << i)).collect();
+        assert_eq!(c.try_medoids(&hashes).unwrap(), c.medoids(&hashes));
+    }
+
+    #[test]
+    fn try_medoids_reports_corrupt_label_vectors() {
+        // Simulate a corrupt checkpoint: serde can produce Clusterings
+        // dbscan never would.
+        let empty_cluster: Clustering =
+            serde_json::from_str(r#"{"labels":[0,0,null],"n_clusters":2}"#).unwrap();
+        let hashes = vec![PHash(1), PHash(2), PHash(3)];
+        assert_eq!(
+            empty_cluster.try_medoids(&hashes),
+            Err(ClusterError::EmptyCluster { cluster: 1 })
+        );
+
+        let bad_label: Clustering =
+            serde_json::from_str(r#"{"labels":[0,7],"n_clusters":1}"#).unwrap();
+        assert_eq!(
+            bad_label.try_medoids(&hashes),
+            Err(ClusterError::InvalidLabel {
+                item: 1,
+                label: 7,
+                n_clusters: 1
+            })
+        );
     }
 
     #[test]

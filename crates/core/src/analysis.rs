@@ -9,7 +9,7 @@ use meme_annotate::annotator::{annotate_clusters, clusters_per_entry, ClusterAnn
 use meme_annotate::kym::KymCategory;
 use meme_cluster::dbscan::{dbscan, Clustering, DbscanParams};
 use meme_cluster::purity::cluster_false_positive_fractions;
-use meme_index::{all_neighbors, MihIndex};
+use meme_index::{symmetric_neighbors, HashGroups, MihIndex};
 use meme_phash::PHash;
 use meme_simweb::{Community, Dataset, SUBREDDITS};
 use meme_stats::timeseries::DailySeries;
@@ -144,8 +144,11 @@ pub fn cluster_community(
         .iter()
         .map(|&i| output.post_hashes[i])
         .collect();
-    let index = MihIndex::new(hashes.clone(), params.eps);
-    let neighbors = all_neighbors(&index, params.eps, threads);
+    // Same collapsed path as the pipeline's cluster stage: index the
+    // distinct hashes only, expand through the owner table.
+    let groups = HashGroups::new(&hashes);
+    let index = MihIndex::new(groups.unique().to_vec(), params.eps);
+    let (neighbors, _) = symmetric_neighbors(&index, &groups, params.eps, threads);
     let clustering = dbscan(&neighbors, params.min_pts);
     let medoid_positions = clustering.medoids(&hashes);
     let medoid_hashes: Vec<PHash> = medoid_positions.iter().map(|&p| hashes[p]).collect();
@@ -530,11 +533,14 @@ pub fn eps_sweep(
         .map(|&i| dataset.posts[i].truth_key())
         .collect();
     let max_eps = eps_values.iter().copied().max().unwrap_or(8);
-    let index = MihIndex::new(hashes, max_eps);
+    // One collapse + one index (at the sweep's largest radius) serve
+    // every eps value; only the pair sweep reruns per row.
+    let groups = HashGroups::new(&hashes);
+    let index = MihIndex::new(groups.unique().to_vec(), max_eps);
     eps_values
         .iter()
         .map(|&eps| {
-            let neighbors = all_neighbors(&index, eps, threads);
+            let (neighbors, _) = symmetric_neighbors(&index, &groups, eps, threads);
             let clustering = dbscan(&neighbors, min_pts);
             let fp = cluster_false_positive_fractions(&clustering, &truth);
             let purity = meme_cluster::purity::majority_purity(&clustering, &truth);

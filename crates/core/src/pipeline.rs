@@ -27,7 +27,10 @@ use meme_annotate::screenshot::{ClassifierMetrics, ScreenshotCorpus, ScreenshotF
 use meme_annotate::AnnotateError;
 use meme_cluster::dbscan::{try_dbscan, ClusterError, Clustering, DbscanParams};
 use meme_hawkes::{ClusterInfluence, Event, HawkesError, InfluenceEstimator};
-use meme_index::{all_neighbors, effective_threads, FallbackIndex, HammingIndex, IndexEngine};
+use meme_index::{
+    effective_threads, symmetric_neighbors, FallbackIndex, HammingIndex, HashGroups, IndexEngine,
+    NeighborStats, QueryScratch,
+};
 use meme_metrics::Metrics;
 use meme_phash::{ImageHasher, PHash, PerceptualHasher};
 use meme_simweb::{Community, Dataset};
@@ -402,15 +405,22 @@ impl Pipeline {
             .map(|p| p.id)
             .collect();
         let fringe_hashes: Vec<PHash> = fringe_posts.iter().map(|&i| post_hashes[i]).collect();
-        let index = FallbackIndex::build(fringe_hashes.clone(), self.config.dbscan.eps);
-        let fallback = degraded_engine(&index, StageId::Cluster);
+        // Collapse exact re-posts before indexing: the index holds one
+        // entry per distinct hash, queries run once per distinct hash,
+        // and the (engine-independent) item adjacency is recovered
+        // through the owner lists.
+        let groups = HashGroups::new(&fringe_hashes);
         self.metrics
-            .inc(&format!("index.engine.{}", index.engine().slug()));
+            .gauge("cluster.dedup_collapse_ratio", groups.collapse_ratio());
+        let index = self.build_index(groups.unique().to_vec(), self.config.dbscan.eps, "cluster");
+        let fallback = degraded_engine(&index, StageId::Cluster);
         self.metrics
             .add("cluster.fringe_posts", fringe_posts.len() as u64);
         self.metrics
-            .add("cluster.neighbor_queries", fringe_hashes.len() as u64);
-        let neighbors = all_neighbors(&index, self.config.dbscan.eps, self.config.threads);
+            .add("cluster.neighbor_queries", groups.len_unique() as u64);
+        let (neighbors, nstats) =
+            symmetric_neighbors(&index, &groups, self.config.dbscan.eps, self.config.threads);
+        self.record_neighbor_stats(&nstats);
         let clustering = try_dbscan(&neighbors, self.config.dbscan.min_pts).map_err(|e| {
             PipelineError::Stage {
                 stage: StageId::Cluster,
@@ -422,7 +432,14 @@ impl Pipeline {
             .add("cluster.clusters", clustering.n_clusters() as u64);
         self.metrics
             .add("cluster.noise_posts", clustering.noise_count() as u64);
-        let medoid_positions = clustering.medoids(&fringe_hashes);
+        let medoid_positions =
+            clustering
+                .try_medoids(&fringe_hashes)
+                .map_err(|e| PipelineError::Stage {
+                    stage: StageId::Cluster,
+                    cluster: None,
+                    source: StageError::Cluster(e),
+                })?;
         state.medoid_hashes = Some(medoid_positions.iter().map(|&p| fringe_hashes[p]).collect());
         state.medoid_posts = Some(medoid_positions.iter().map(|&p| fringe_posts[p]).collect());
         state.fringe_posts = Some(fringe_posts);
@@ -431,12 +448,46 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Build the fallback index for `radius` queries under a per-engine
+    /// build-time span (`index/build/{slug}`, so `--metrics-out` shows
+    /// which engine was built and how long it took), then record the
+    /// `index.memory_bytes` gauges (global = most recent build; the
+    /// stage-scoped variant keeps the cluster and associate indexes
+    /// distinguishable) and the engine-choice counter.
+    fn build_index(&self, hashes: Vec<PHash>, radius: u32, stage: &str) -> FallbackIndex {
+        let (engine, _) = FallbackIndex::plan(&hashes, radius);
+        let span = self.metrics.span(&format!("index/build/{}", engine.slug()));
+        let index = FallbackIndex::build(hashes, radius);
+        span.finish();
+        self.metrics
+            .inc(&format!("index.engine.{}", index.engine().slug()));
+        let bytes = index.memory_bytes() as f64;
+        self.metrics.gauge("index.memory_bytes", bytes);
+        self.metrics
+            .gauge(&format!("index.memory_bytes.{stage}"), bytes);
+        index
+    }
+
+    /// Roll a pairwise sweep's work counters into the `index.*` family.
+    /// All values are sums over per-worker counters, so they are
+    /// identical for every thread count.
+    fn record_neighbor_stats(&self, s: &NeighborStats) {
+        self.metrics.add("index.items", s.items as u64);
+        self.metrics.add("index.unique_hashes", s.unique as u64);
+        self.metrics.add("index.probes", s.probes);
+        self.metrics.add("index.candidates", s.candidates);
+        self.metrics.add("index.verified", s.verified);
+        self.metrics.add("index.unique_pairs", s.unique_pairs);
+    }
+
     /// Step 6: associate every post to the nearest annotated cluster.
     ///
-    /// Parallelized the same way as [`Pipeline::hash_posts`]: the output
-    /// vector is split into contiguous chunks, one scoped worker per
-    /// chunk, so the result is byte-identical for any thread count —
-    /// each slot depends only on its own post hash.
+    /// Association depends only on the post's hash, so posts collapse to
+    /// their distinct hashes first: one radius query per distinct hash
+    /// (parallelized with the same contiguous-chunk split as
+    /// [`Pipeline::hash_posts`], with per-worker [`QueryScratch`]
+    /// reuse), then an expansion back to posts through the owner table.
+    /// Byte-identical to querying per post, for any thread count.
     fn stage_associate(&self, state: &mut StageState) -> Result<(), PipelineError> {
         let post_hashes = req(&state.post_hashes, StageId::Associate)?;
         let medoid_hashes = req(&state.medoid_hashes, StageId::Associate)?;
@@ -447,34 +498,44 @@ impl Pipeline {
             .map(|a| a.cluster)
             .collect();
         let annotated_hashes: Vec<PHash> = annotated.iter().map(|&c| medoid_hashes[c]).collect();
-        let assoc_index = FallbackIndex::build(annotated_hashes, self.config.theta);
+        let assoc_index = self.build_index(annotated_hashes, self.config.theta, "associate");
         let fallback = degraded_engine(&assoc_index, StageId::Associate);
-        self.metrics
-            .inc(&format!("index.engine.{}", assoc_index.engine().slug()));
         let n = post_hashes.len();
         let mut occurrences: Vec<Option<usize>> = vec![None; n];
         if n > 0 && !annotated.is_empty() {
-            let threads = effective_threads(self.config.threads, n);
-            let chunk_len = n.div_ceil(threads);
+            let groups = HashGroups::new(post_hashes);
+            self.metrics
+                .gauge("associate.dedup_collapse_ratio", groups.collapse_ratio());
+            let n_unique = groups.len_unique();
+            self.metrics.add("associate.hash_queries", n_unique as u64);
+            let mut unique_occ: Vec<Option<usize>> = vec![None; n_unique];
+            let threads = effective_threads(self.config.threads, n_unique);
+            let chunk_len = n_unique.div_ceil(threads);
             let theta = self.config.theta;
             let annotated = &annotated;
             let assoc_index = &assoc_index;
+            let groups_ref = &groups;
             crossbeam::thread::scope(|s| {
-                for (chunk_id, slot_chunk) in occurrences.chunks_mut(chunk_len).enumerate() {
+                for (chunk_id, slot_chunk) in unique_occ.chunks_mut(chunk_len).enumerate() {
                     s.spawn(move |_| {
+                        let mut scratch = QueryScratch::new();
+                        let mut hits = Vec::new();
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            let h = post_hashes[chunk_id * chunk_len + off];
-                            let hits = assoc_index.radius_query(h, theta);
+                            let h = groups_ref.unique()[chunk_id * chunk_len + off];
+                            assoc_index.radius_query_into(h, theta, &mut scratch, &mut hits);
                             *slot = hits
-                                .into_iter()
-                                .min_by_key(|&pos| (h.distance(assoc_index.hash_at(pos)), pos))
-                                .map(|pos| annotated[pos]);
+                                .iter()
+                                .min_by_key(|&&pos| (h.distance(assoc_index.hash_at(pos)), pos))
+                                .map(|&pos| annotated[pos]);
                         }
                     });
                 }
             })
             // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
             .expect("association worker panicked");
+            for (i, slot) in occurrences.iter_mut().enumerate() {
+                *slot = unique_occ[groups.owner_of(i)];
+            }
         }
         self.metrics.add("associate.posts", n as u64);
         self.metrics.add(

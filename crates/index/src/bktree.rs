@@ -6,7 +6,7 @@
 //! distance over 64-bit hashes takes integer values `0..=64`, so each
 //! node keeps a sparse 65-slot child table.
 
-use crate::HammingIndex;
+use crate::{HammingIndex, QueryScratch};
 use meme_phash::PHash;
 
 #[derive(Debug, Clone)]
@@ -36,6 +36,8 @@ impl Node {
 pub struct BkTreeIndex {
     root: Option<Box<Node>>,
     hashes: Vec<PHash>,
+    /// Tree nodes allocated so far (≤ `hashes.len()`; duplicates share).
+    nodes: usize,
 }
 
 impl BkTreeIndex {
@@ -44,6 +46,7 @@ impl BkTreeIndex {
         let mut tree = Self {
             root: None,
             hashes: Vec::new(),
+            nodes: 0,
         };
         for h in hashes {
             tree.insert(h);
@@ -56,7 +59,10 @@ impl BkTreeIndex {
         let item = self.hashes.len();
         self.hashes.push(hash);
         match &mut self.root {
-            None => self.root = Some(Box::new(Node::new(hash, item))),
+            None => {
+                self.root = Some(Box::new(Node::new(hash, item)));
+                self.nodes += 1;
+            }
             Some(root) => {
                 let mut node = root;
                 loop {
@@ -69,6 +75,7 @@ impl BkTreeIndex {
                         Some(child) => child,
                         slot => {
                             *slot = Some(Box::new(Node::new(hash, item)));
+                            self.nodes += 1;
                             return;
                         }
                     };
@@ -89,6 +96,31 @@ impl BkTreeIndex {
             Self::collect(child, query, radius, out);
         }
     }
+
+    /// Like [`BkTreeIndex::collect`] but drops item ids below `start`
+    /// at the push site and counts distance computations.
+    fn collect_from(
+        node: &Node,
+        query: PHash,
+        radius: u32,
+        start: usize,
+        out: &mut Vec<usize>,
+        verified: &mut u64,
+    ) {
+        *verified += 1;
+        let d = node.hash.distance(query);
+        if d <= radius {
+            if node.item >= start {
+                out.push(node.item);
+            }
+            out.extend(node.duplicates.iter().filter(|&&i| i >= start));
+        }
+        let lo = d.saturating_sub(radius) as usize;
+        let hi = (d + radius).min(64) as usize;
+        for child in node.children[lo..=hi].iter().flatten() {
+            Self::collect_from(child, query, radius, start, out, verified);
+        }
+    }
 }
 
 impl HammingIndex for BkTreeIndex {
@@ -107,6 +139,45 @@ impl HammingIndex for BkTreeIndex {
         }
         out.sort_unstable();
         out
+    }
+
+    fn radius_query_into(
+        &self,
+        query: PHash,
+        radius: u32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        self.radius_query_from(query, radius, 0, scratch, out);
+    }
+
+    fn radius_query_from(
+        &self,
+        query: PHash,
+        radius: u32,
+        start: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        // The triangle-inequality walk visits each node at most once, so
+        // no visited stamps are needed — only the reusable output buffer
+        // and the work counters.
+        out.clear();
+        let mut verified = 0;
+        if let Some(root) = &self.root {
+            Self::collect_from(root, query, radius, start, out, &mut verified);
+        }
+        scratch.stats.candidates += verified;
+        scratch.stats.verified += verified;
+        out.sort_unstable();
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Per node: the struct itself plus its 65-slot child table; the
+        // duplicate lists and the flat hash copy are counted separately.
+        self.nodes * (std::mem::size_of::<Node>() + 65 * std::mem::size_of::<Option<Box<Node>>>())
+            + (self.hashes.len() - self.nodes) * std::mem::size_of::<usize>()
+            + self.hashes.len() * std::mem::size_of::<PHash>()
     }
 }
 

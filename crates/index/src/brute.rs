@@ -1,7 +1,7 @@
 //! Linear-scan index: the correctness oracle and the small-`n` winner.
 
-use crate::HammingIndex;
-use meme_phash::PHash;
+use crate::{HammingIndex, QueryScratch};
+use meme_phash::{swar_distance, PHash};
 
 /// Brute-force radius queries: one popcount per indexed hash. With
 /// 64-bit XOR + POPCNT this scans tens of millions of hashes per second
@@ -40,6 +40,39 @@ impl HammingIndex for BruteForceIndex {
             .filter(|(_, h)| query.distance(**h) <= radius)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    fn radius_query_into(
+        &self,
+        query: PHash,
+        radius: u32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        self.radius_query_from(query, radius, 0, scratch, out);
+    }
+
+    fn radius_query_from(
+        &self,
+        query: PHash,
+        radius: u32,
+        start: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        // A linear scan visits each id exactly once, so the visited
+        // stamps are unnecessary; results are ascending by construction.
+        out.clear();
+        let start = start.min(self.hashes.len());
+        let tail = &self.hashes[start..];
+        out.extend(
+            tail.iter()
+                .enumerate()
+                .filter(|(_, &h)| swar_distance(query, h) <= radius)
+                .map(|(k, _)| start + k),
+        );
+        scratch.stats.candidates += tail.len() as u64;
+        scratch.stats.verified += tail.len() as u64;
     }
 }
 

@@ -21,7 +21,7 @@
 //! why each rejected the workload, and always returns a working index —
 //! graceful degradation instead of a quadratic stall or a panic.
 
-use crate::{BkTreeIndex, BruteForceIndex, HammingIndex, MihIndex};
+use crate::{BkTreeIndex, BruteForceIndex, HammingIndex, MihIndex, QueryScratch};
 use meme_phash::PHash;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -140,10 +140,12 @@ enum Backend {
 }
 
 impl FallbackIndex {
-    /// Build an index for radius-`radius` queries over `hashes`,
-    /// falling back MIH → BK-tree → brute force as engines decline.
-    pub fn build(hashes: Vec<PHash>, radius: u32) -> Self {
-        let dominant = dominant_fraction(&hashes);
+    /// Decide which engine would take `hashes` at `radius` — without
+    /// building anything. Cheap (one duplicate count), so callers that
+    /// want to time or label the build (e.g. a metrics span named after
+    /// the engine) can plan first, then call [`FallbackIndex::build`].
+    pub fn plan(hashes: &[PHash], radius: u32) -> (IndexEngine, Vec<IndexError>) {
+        let dominant = dominant_fraction(hashes);
         let degenerate = hashes.len() >= DUP_CHECK_MIN && dominant > 0.5;
         let mut rejections = Vec::new();
 
@@ -159,10 +161,7 @@ impl FallbackIndex {
                 dominant_fraction: dominant,
             });
         } else {
-            return Self {
-                backend: Backend::Mih(MihIndex::new(hashes, radius)),
-                rejections,
-            };
+            return (IndexEngine::Mih, rejections);
         }
 
         if radius > BK_MAX_RADIUS {
@@ -177,14 +176,23 @@ impl FallbackIndex {
                 dominant_fraction: dominant,
             });
         } else {
-            return Self {
-                backend: Backend::Bk(BkTreeIndex::new(hashes)),
-                rejections,
-            };
+            return (IndexEngine::BkTree, rejections);
         }
 
+        (IndexEngine::BruteForce, rejections)
+    }
+
+    /// Build an index for radius-`radius` queries over `hashes`,
+    /// falling back MIH → BK-tree → brute force as engines decline.
+    pub fn build(hashes: Vec<PHash>, radius: u32) -> Self {
+        let (engine, rejections) = Self::plan(&hashes, radius);
+        let backend = match engine {
+            IndexEngine::Mih => Backend::Mih(MihIndex::new(hashes, radius)),
+            IndexEngine::BkTree => Backend::Bk(BkTreeIndex::new(hashes)),
+            IndexEngine::BruteForce => Backend::Brute(BruteForceIndex::new(hashes)),
+        };
         Self {
-            backend: Backend::Brute(BruteForceIndex::new(hashes)),
+            backend,
             rejections,
         }
     }
@@ -227,6 +235,43 @@ impl HammingIndex for FallbackIndex {
             Backend::Mih(x) => x.radius_query(query, radius),
             Backend::Bk(x) => x.radius_query(query, radius),
             Backend::Brute(x) => x.radius_query(query, radius),
+        }
+    }
+
+    fn radius_query_into(
+        &self,
+        query: PHash,
+        radius: u32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        match &self.backend {
+            Backend::Mih(x) => x.radius_query_into(query, radius, scratch, out),
+            Backend::Bk(x) => x.radius_query_into(query, radius, scratch, out),
+            Backend::Brute(x) => x.radius_query_into(query, radius, scratch, out),
+        }
+    }
+
+    fn radius_query_from(
+        &self,
+        query: PHash,
+        radius: u32,
+        start: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        match &self.backend {
+            Backend::Mih(x) => x.radius_query_from(query, radius, start, scratch, out),
+            Backend::Bk(x) => x.radius_query_from(query, radius, start, scratch, out),
+            Backend::Brute(x) => x.radius_query_from(query, radius, start, scratch, out),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Mih(x) => x.memory_bytes(),
+            Backend::Bk(x) => x.memory_bytes(),
+            Backend::Brute(x) => x.memory_bytes(),
         }
     }
 }

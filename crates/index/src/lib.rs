@@ -25,13 +25,17 @@
 
 pub mod bktree;
 pub mod brute;
+pub mod dedup;
 pub mod fallback;
 pub mod mih;
+pub mod scratch;
 
 pub use bktree::BkTreeIndex;
 pub use brute::BruteForceIndex;
+pub use dedup::HashGroups;
 pub use fallback::{FallbackIndex, IndexEngine, IndexError};
 pub use mih::MihIndex;
+pub use scratch::{QueryScratch, QueryStats};
 
 use meme_phash::PHash;
 
@@ -56,6 +60,47 @@ pub trait HammingIndex {
     /// All indices `i` with `distance(query, hash_at(i)) <= radius`,
     /// in ascending index order.
     fn radius_query(&self, query: PHash, radius: u32) -> Vec<usize>;
+
+    /// [`HammingIndex::radius_query`] through reusable working memory:
+    /// results land in `out` (cleared first), intermediate state lives
+    /// in `scratch`. Engines override this so steady-state queries
+    /// allocate nothing; the default delegates to `radius_query`.
+    fn radius_query_into(
+        &self,
+        query: PHash,
+        radius: u32,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.radius_query(query, radius));
+    }
+
+    /// Like [`HammingIndex::radius_query_into`], restricted to indices
+    /// `i >= start` — the half-open tail of the index. The symmetric
+    /// pairwise driver uses this so each unordered pair is verified
+    /// exactly once and mirrored, instead of twice. Engines override it
+    /// to skip the excluded prefix *before* distance verification (the
+    /// brute engine does not even scan it).
+    fn radius_query_from(
+        &self,
+        query: PHash,
+        radius: u32,
+        start: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<usize>,
+    ) {
+        self.radius_query_into(query, radius, scratch, out);
+        out.retain(|&i| i >= start);
+    }
+
+    /// Approximate bytes held by the engine's data structures (hash
+    /// storage plus per-engine tables) — the `index.memory_bytes`
+    /// gauge. The default accounts for the hash slice only.
+    fn memory_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<PHash>()
+    }
 }
 
 /// Compute the radius neighbourhood of every indexed item, in parallel
@@ -94,11 +139,14 @@ pub fn all_neighbors<I: HammingIndex + Sync>(
         crossbeam::thread::scope(|s| {
             for (offset, chunk) in chunks {
                 s.spawn(move |_| {
+                    // One scratch per worker: the visited stamps and
+                    // candidate buffer are reused across the whole
+                    // chunk, so only the per-item output lists allocate.
+                    let mut scratch = QueryScratch::new();
                     for (k, slot) in chunk.iter_mut().enumerate() {
                         let i = offset + k;
-                        let mut neigh = index.radius_query(index.hash_at(i), radius);
-                        neigh.retain(|&j| j != i);
-                        *slot = neigh;
+                        index.radius_query_into(index.hash_at(i), radius, &mut scratch, slot);
+                        slot.retain(|&j| j != i);
                     }
                 });
             }
@@ -107,6 +155,151 @@ pub fn all_neighbors<I: HammingIndex + Sync>(
         .expect("worker thread panicked");
     }
     result
+}
+
+/// Work counters of one [`symmetric_neighbors`] run — the source of the
+/// `index.*` metrics family. All fields are sums over per-worker
+/// [`QueryStats`], so they are identical for every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeighborStats {
+    /// Items in the corpus (before duplicate collapsing).
+    pub items: usize,
+    /// Unique hashes actually queried.
+    pub unique: usize,
+    /// Band-bucket probes issued.
+    pub probes: u64,
+    /// Candidate ids gathered (before dedup).
+    pub candidates: u64,
+    /// Exact distances verified.
+    pub verified: u64,
+    /// Unordered unique-hash pairs within the radius (each verified
+    /// once and mirrored).
+    pub unique_pairs: u64,
+}
+
+/// Compute the radius neighbourhood of every *item* from an index built
+/// over the corpus's **unique** hashes ([`HashGroups::unique`]),
+/// querying once per unique hash and verifying each unordered pair once.
+///
+/// Byte-identical to [`all_neighbors`] over an index of the full item
+/// list, but:
+///
+/// * exact duplicates collapse — `groups.len_unique()` queries instead
+///   of `groups.len_items()`;
+/// * symmetry is exploited — unique hash `u` only verifies candidates
+///   `v > u` ([`HammingIndex::radius_query_from`]); the `v → u` edge is
+///   mirrored from the pair list;
+/// * workers reuse [`QueryScratch`] buffers, so the pair sweep performs
+///   no steady-state allocations beyond the pair lists themselves.
+///
+/// `index` **must** be built over exactly `groups.unique()`; the item
+/// adjacency is expanded through the groups' owner lists. Deterministic
+/// for every `threads` value (pass 0 for available parallelism).
+pub fn symmetric_neighbors<I: HammingIndex + Sync>(
+    index: &I,
+    groups: &HashGroups,
+    radius: u32,
+    threads: usize,
+) -> (Vec<Vec<usize>>, NeighborStats) {
+    let n_items = groups.len_items();
+    let n_unique = groups.len_unique();
+    debug_assert_eq!(
+        index.len(),
+        n_unique,
+        "index not built over groups.unique()"
+    );
+    let mut stats = NeighborStats {
+        items: n_items,
+        unique: n_unique,
+        ..NeighborStats::default()
+    };
+    if n_items == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // ---- Pass 1: unique-level half-pairs (u, v), u < v, d(u, v) <= r.
+    // Workers own disjoint u-ranges; concatenating their pair lists in
+    // range order yields a list sorted by (u, v) for any thread count.
+    let threads = effective_threads(threads, n_unique);
+    let chunk_len = n_unique.div_ceil(threads);
+    let mut worker_out: Vec<(Vec<(u32, u32)>, QueryStats)> = Vec::new();
+    worker_out.resize_with(threads, Default::default);
+    crossbeam::thread::scope(|s| {
+        for (chunk_id, slot) in worker_out.iter_mut().enumerate() {
+            let unique = groups.unique();
+            s.spawn(move |_| {
+                let lo = chunk_id * chunk_len;
+                let hi = (lo + chunk_len).min(n_unique);
+                let mut scratch = QueryScratch::new();
+                let mut hits = Vec::new();
+                let mut pairs = Vec::new();
+                for (u, &uh) in unique.iter().enumerate().take(hi).skip(lo) {
+                    index.radius_query_from(uh, radius, u + 1, &mut scratch, &mut hits);
+                    pairs.extend(hits.iter().map(|&v| (u as u32, v as u32)));
+                }
+                *slot = (pairs, scratch.take_stats());
+            });
+        }
+    })
+    // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
+    .expect("pair sweep worker panicked");
+
+    // ---- Pass 2: mirror the half-pairs into unique-level adjacency.
+    // Scanning pairs in (u, v) order appends to every list in ascending
+    // order: w's mirrored entries (u' < w) all precede its forward
+    // entries (v > w), and both runs arrive sorted.
+    let mut uadj: Vec<Vec<u32>> = vec![Vec::new(); n_unique];
+    for (pairs, worker_stats) in &worker_out {
+        let mut merged = QueryStats::default();
+        merged.merge(*worker_stats);
+        stats.probes += merged.probes;
+        stats.candidates += merged.candidates;
+        stats.verified += merged.verified;
+        stats.unique_pairs += pairs.len() as u64;
+        for &(u, v) in pairs {
+            uadj[u as usize].push(v);
+            uadj[v as usize].push(u);
+        }
+    }
+
+    // ---- Pass 3: expand to item-level adjacency through owner lists.
+    // Item i with unique slot u neighbours every co-owner of u (distance
+    // 0) and every owner of each v adjacent to u. Per-item work is
+    // independent, so the same chunked-split parallel pattern applies.
+    let mut result: Vec<Vec<usize>> = vec![Vec::new(); n_items];
+    {
+        let threads = effective_threads(threads, n_items);
+        let chunk_len = n_items.div_ceil(threads);
+        let uadj = &uadj;
+        crossbeam::thread::scope(|s| {
+            for (chunk_id, chunk) in result.chunks_mut(chunk_len).enumerate() {
+                s.spawn(move |_| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let i = (chunk_id * chunk_len + k) as u32;
+                        let u = groups.owner_of(i as usize);
+                        let co_owners = groups.owners(u);
+                        let total = co_owners.len() - 1
+                            + uadj[u]
+                                .iter()
+                                .map(|&v| groups.owners(v as usize).len())
+                                .sum::<usize>();
+                        slot.reserve_exact(total);
+                        slot.extend(co_owners.iter().filter(|&&j| j != i).map(|&j| j as usize));
+                        for &v in &uadj[u] {
+                            slot.extend(groups.owners(v as usize).iter().map(|&j| j as usize));
+                        }
+                        // Sorted runs from different unique groups
+                        // interleave arbitrarily; one in-place sort
+                        // restores the ascending-id contract.
+                        slot.sort_unstable();
+                    }
+                });
+            }
+        })
+        // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
+        .expect("expansion worker panicked");
+    }
+    (result, stats)
 }
 
 /// Number of worker threads to actually spawn for `work_items` units of
@@ -197,6 +390,76 @@ mod tests {
                 assert_eq!(bk.radius_query(q, r), expected, "bk radius {r}");
                 assert_eq!(mih.radius_query(q, r), expected, "mih radius {r}");
             }
+        }
+    }
+
+    /// Duplicate-heavy corpus: few distinct values, many copies.
+    fn duplicate_heavy_hashes(n: usize, seed: u64) -> Vec<PHash> {
+        let mut rng = seeded_rng(seed);
+        let centers: Vec<PHash> = (0..8).map(|_| PHash(rng.random())).collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.random_range(0..centers.len())];
+                if rng.random_bool(0.3) {
+                    c.with_flipped_bits(&[rng.random_range(0..64u8)])
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn symmetric_neighbors_matches_all_neighbors() {
+        for (seed, radius) in [(7u64, 8u32), (8, 0), (9, 4)] {
+            let hashes = duplicate_heavy_hashes(250, seed);
+            let expected = all_neighbors(&BruteForceIndex::new(hashes.clone()), radius, 3);
+
+            let groups = HashGroups::new(&hashes);
+            let mih = MihIndex::new(groups.unique().to_vec(), radius.max(1));
+            let (got, stats) = symmetric_neighbors(&mih, &groups, radius, 3);
+            assert_eq!(got, expected, "seed {seed} radius {radius}");
+            assert_eq!(stats.items, 250);
+            assert_eq!(stats.unique, groups.len_unique());
+            assert!(stats.unique < stats.items, "workload should collapse");
+        }
+    }
+
+    #[test]
+    fn symmetric_neighbors_deterministic_across_thread_counts() {
+        let hashes = duplicate_heavy_hashes(180, 10);
+        let groups = HashGroups::new(&hashes);
+        let brute = BruteForceIndex::new(groups.unique().to_vec());
+        let (a, sa) = symmetric_neighbors(&brute, &groups, 6, 1);
+        let (b, sb) = symmetric_neighbors(&brute, &groups, 6, 8);
+        assert_eq!(a, b);
+        assert_eq!(sa.unique_pairs, sb.unique_pairs);
+        assert_eq!(sa.verified, sb.verified);
+    }
+
+    #[test]
+    fn symmetric_neighbors_empty_corpus() {
+        let groups = HashGroups::new(&[]);
+        let mih = MihIndex::new(Vec::new(), 8);
+        for threads in [0, 1, 7] {
+            let (nbrs, stats) = symmetric_neighbors(&mih, &groups, 8, threads);
+            assert!(nbrs.is_empty());
+            assert_eq!(stats.unique_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn symmetric_neighbors_all_duplicates() {
+        // Single unique hash: every item neighbours every other item.
+        let hashes = vec![PHash(99); 17];
+        let groups = HashGroups::new(&hashes);
+        let mih = MihIndex::new(groups.unique().to_vec(), 8);
+        let (nbrs, stats) = symmetric_neighbors(&mih, &groups, 8, 4);
+        assert_eq!(stats.unique, 1);
+        assert_eq!(stats.unique_pairs, 0);
+        for (i, list) in nbrs.iter().enumerate() {
+            let expected: Vec<usize> = (0..17).filter(|&j| j != i).collect();
+            assert_eq!(*list, expected);
         }
     }
 

@@ -59,6 +59,28 @@ impl PHash {
     }
 }
 
+/// SWAR (SIMD-within-a-register) population count: the classic
+/// shift-mask-accumulate bit-slicing kernel, branch-free and constant
+/// time. Identical to `u64::count_ones` (property-tested below); the
+/// index crate's batch-verify loop uses it so the candidate-distance
+/// kernel stays a straight line of ALU ops that the compiler can unroll
+/// and schedule across four candidates at once, independent of whether
+/// the target lowers `count_ones` to a POPCNT instruction.
+#[inline(always)]
+pub const fn swar_popcount(x: u64) -> u32 {
+    let x = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    let x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    let x = (x + (x >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    (x.wrapping_mul(0x0101_0101_0101_0101) >> 56) as u32
+}
+
+/// Hamming distance via [`swar_popcount`] — the batch-verify kernels'
+/// primitive. Equivalent to [`PHash::distance`].
+#[inline(always)]
+pub const fn swar_distance(a: PHash, b: PHash) -> u32 {
+    swar_popcount(a.0 ^ b.0)
+}
+
 impl fmt::Display for PHash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
@@ -159,6 +181,16 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn swar_popcount_matches_count_ones(bits: u64) {
+            prop_assert_eq!(swar_popcount(bits), bits.count_ones());
+        }
+
+        #[test]
+        fn swar_distance_matches_distance(a: u64, b: u64) {
+            prop_assert_eq!(swar_distance(PHash(a), PHash(b)), PHash(a).distance(PHash(b)));
+        }
+
         #[test]
         fn display_parse_roundtrip(bits: u64) {
             let h = PHash(bits);

@@ -26,5 +26,5 @@
 pub mod hash64;
 pub mod hashers;
 
-pub use hash64::{Hash64ParseError, PHash, MAX_DISTANCE};
+pub use hash64::{swar_distance, swar_popcount, Hash64ParseError, PHash, MAX_DISTANCE};
 pub use hashers::{AverageHasher, DifferenceHasher, ImageHasher, PerceptualHasher};
