@@ -145,4 +145,30 @@ mod tests {
     fn unwrap_or_is_fine() {
         assert!(check("crates/core/src/x.rs", "fn f() { a.unwrap_or(0); }\n").is_empty());
     }
+
+    #[test]
+    fn supervision_layer_files_are_in_scope() {
+        // The supervised-execution layer (DESIGN.md §11) is panic-free
+        // by contract — its entire job is containing panics, so a panic
+        // of its own would be self-defeating. Pin every file of the
+        // layer into this rule's scope.
+        for path in [
+            "crates/core/src/runner.rs",
+            "crates/core/src/supervise.rs",
+            "crates/core/src/quarantine.rs",
+            "crates/core/src/pipeline.rs",
+        ] {
+            let file = SourceFile::new(path, "");
+            assert!(
+                PanicInPipeline.applies(&file),
+                "{path} must be scanned by panic-in-pipeline"
+            );
+        }
+        // Findings inside the layer are reported like any other.
+        let f = check(
+            "crates/core/src/supervise.rs",
+            "fn f() { ckpt.unwrap(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
 }

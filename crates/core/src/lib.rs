@@ -27,8 +27,10 @@ pub mod graph;
 pub mod metric;
 pub mod pipeline;
 pub mod provenance;
+pub mod quarantine;
 pub mod report;
 pub mod runner;
+pub mod supervise;
 
 pub use graph::{ClusterGraph, GraphConfig};
 pub use metric::{ClusterDescriptor, ClusterDistance, MetricWeights};
@@ -36,6 +38,17 @@ pub use pipeline::{
     Degradation, Pipeline, PipelineConfig, PipelineError, PipelineOutput, ScreenshotFilterMode,
     StageError,
 };
+pub use quarantine::{
+    encode_jsonl, parse_jsonl, read_quarantine, summarize, write_quarantine, QuarantineEntry,
+    QuarantineError, QuarantineReason,
+};
 pub use runner::{
-    dataset_fingerprint, Checkpoint, PipelineRunner, RunnerOutcome, StageId, StageState,
+    crc32, dataset_fingerprint, decode_checkpoint, encode_checkpoint, fsck_bytes, fsck_file,
+    persist_checkpoint, prev_checkpoint_path, Checkpoint, CheckpointDefect, CheckpointMedium,
+    DiskMedium, FsckClass, FsckReport, MediumError, PipelineRunner, RunnerOutcome, StageId,
+    StageState, CHECKPOINT_SCHEMA_VERSION,
+};
+pub use supervise::{
+    ExecFaults, FaultyMedium, ItemFault, NoFaults, SpecFaults, StageFault, StagePolicy,
+    StageRetries, SupervisedRun, SupervisedRunner, SupervisionReport,
 };

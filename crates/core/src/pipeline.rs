@@ -19,7 +19,9 @@
 //!    [`PipelineOutput::estimate_influence`]).
 
 use crate::metric::ClusterDescriptor;
+use crate::quarantine::{QuarantineEntry, QuarantineReason};
 use crate::runner::{PipelineRunner, RunnerOutcome, StageId, StageState};
+use crate::supervise::{ExecFaults, ItemFault, NoFaults, StageFault};
 use meme_annotate::annotator::{annotate_clusters_with_stats, ClusterAnnotation};
 use meme_annotate::kym::{KymEntry, KymSite};
 use meme_annotate::nn::TrainConfig;
@@ -37,6 +39,7 @@ use meme_simweb::{Community, Dataset};
 use meme_stats::dist::DistError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// How many times Step 4 retries CNN training (reseeding each attempt)
 /// before falling back to the ground-truth oracle filter.
@@ -112,6 +115,12 @@ pub enum StageError {
     Stats(DistError),
     /// An I/O failure (rendering corpora, spilling intermediates).
     Io(String),
+    /// A transient failure worth retrying (flaky I/O, injected faults);
+    /// the supervisor retries these under its [`crate::supervise::StagePolicy`].
+    Transient {
+        /// What failed, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StageError {
@@ -122,6 +131,7 @@ impl fmt::Display for StageError {
             Self::Annotate(e) => write!(f, "{e}"),
             Self::Stats(e) => write!(f, "{e}"),
             Self::Io(e) => write!(f, "{e}"),
+            Self::Transient { detail } => write!(f, "transient failure: {detail}"),
         }
     }
 }
@@ -145,6 +155,14 @@ pub enum PipelineError {
         /// The underlying substrate error.
         source: StageError,
     },
+    /// A stage panicked and the supervisor contained it
+    /// (`catch_unwind`); retries were exhausted or disabled.
+    StagePanicked {
+        /// The stage whose worker panicked.
+        stage: StageId,
+        /// The panic payload, rendered.
+        detail: String,
+    },
     /// A checkpoint could not be read or written.
     CheckpointIo(String),
     /// A checkpoint file existed but could not be decoded, or claimed
@@ -152,6 +170,8 @@ pub enum PipelineError {
     CheckpointCorrupt(String),
     /// A checkpoint belongs to a different dataset or configuration.
     CheckpointMismatch(String),
+    /// The quarantine dead-letter file could not be written.
+    QuarantineIo(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -169,9 +189,13 @@ impl fmt::Display for PipelineError {
                 cluster: None,
                 source,
             } => write!(f, "stage `{stage}` failed: {source}"),
+            Self::StagePanicked { stage, detail } => {
+                write!(f, "stage `{stage}` panicked (contained): {detail}")
+            }
             Self::CheckpointIo(e) => write!(f, "checkpoint I/O failed: {e}"),
             Self::CheckpointCorrupt(e) => write!(f, "checkpoint is corrupt: {e}"),
             Self::CheckpointMismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+            Self::QuarantineIo(e) => write!(f, "quarantine I/O failed: {e}"),
         }
     }
 }
@@ -221,6 +245,20 @@ pub enum Degradation {
         /// Why the faster engines were rejected.
         reason: String,
     },
+    /// A stage diverted poison items to the quarantine dead-letter file
+    /// instead of failing; the run continued without them.
+    ItemsQuarantined {
+        /// The stage that quarantined the items.
+        stage: StageId,
+        /// How many items were diverted.
+        items: usize,
+    },
+    /// Resume found the current checkpoint torn or stale and rolled
+    /// back to the previous generation (`<path>.prev`).
+    CheckpointRolledBack {
+        /// Why the current generation was rejected.
+        reason: String,
+    },
 }
 
 impl Degradation {
@@ -230,6 +268,8 @@ impl Degradation {
             Self::HawkesClusterSkipped { .. } => "hawkes cluster skipped",
             Self::ScreenshotFilterFellBack { .. } => "screenshot filter fell back to oracle",
             Self::IndexFellBack { .. } => "hamming index fell back",
+            Self::ItemsQuarantined { .. } => "poison items quarantined",
+            Self::CheckpointRolledBack { .. } => "checkpoint rolled back",
         }
     }
 
@@ -239,6 +279,8 @@ impl Degradation {
             Self::HawkesClusterSkipped { .. } => "hawkes_cluster_skipped",
             Self::ScreenshotFilterFellBack { .. } => "screenshot_filter_fell_back",
             Self::IndexFellBack { .. } => "index_fell_back",
+            Self::ItemsQuarantined { .. } => "items_quarantined",
+            Self::CheckpointRolledBack { .. } => "checkpoint_rolled_back",
         }
     }
 }
@@ -261,6 +303,12 @@ impl fmt::Display for Degradation {
                 engine,
                 reason,
             } => write!(f, "stage `{stage}` index fell back to {engine}: {reason}"),
+            Self::ItemsQuarantined { stage, items } => {
+                write!(f, "stage `{stage}` quarantined {items} poison item(s)")
+            }
+            Self::CheckpointRolledBack { reason } => {
+                write!(f, "resumed from previous checkpoint generation: {reason}")
+            }
         }
     }
 }
@@ -304,6 +352,14 @@ pub struct PipelineOutput {
 pub struct Pipeline {
     config: PipelineConfig,
     metrics: Metrics,
+    /// Execution-fault oracle (chaos testing); [`NoFaults`] in
+    /// production, where every consultation is skipped via
+    /// [`ExecFaults::enabled`].
+    faults: Arc<dyn ExecFaults>,
+    /// Which supervised attempt of the current stage this is (0-based);
+    /// only fault decisions depend on it, so clean runs are identical
+    /// for any value.
+    attempt: u32,
 }
 
 impl Pipeline {
@@ -312,6 +368,8 @@ impl Pipeline {
         Self {
             config,
             metrics: Metrics::disabled(),
+            faults: Arc::new(NoFaults),
+            attempt: 0,
         }
     }
 
@@ -319,6 +377,18 @@ impl Pipeline {
     /// it. A disabled handle (the default) costs one branch per record.
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach an execution-fault oracle (chaos testing only).
+    pub fn with_exec_faults(mut self, faults: Arc<dyn ExecFaults>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The supervised-attempt number fault decisions key on.
+    pub(crate) fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
         self
     }
 
@@ -353,10 +423,36 @@ impl Pipeline {
         dataset: &Dataset,
         state: &mut StageState,
     ) -> Result<(), PipelineError> {
+        if self.faults.enabled() {
+            match self.faults.stage_fault(stage, self.attempt) {
+                StageFault::Pass => {}
+                StageFault::Panic => {
+                    // lint:allow(panic-in-pipeline): deliberate injected fault — the supervisor's catch_unwind must contain it
+                    panic!(
+                        "injected fault: stage `{stage}` panicked on attempt {}",
+                        self.attempt
+                    )
+                }
+                StageFault::Transient => {
+                    return Err(PipelineError::Stage {
+                        stage,
+                        cluster: None,
+                        source: StageError::Transient {
+                            detail: format!(
+                                "injected transient stage fault on attempt {}",
+                                self.attempt
+                            ),
+                        },
+                    })
+                }
+            }
+        }
         match stage {
             StageId::Hash => {
                 // --- Step 1: pHash extraction (parallel render + hash).
-                state.post_hashes = Some(self.hash_posts(dataset));
+                let (hashes, quarantined) = self.hash_posts(dataset)?;
+                state.post_hashes = Some(hashes);
+                record_quarantined(state, StageId::Hash, quarantined);
                 Ok(())
             }
             StageId::Cluster => self.stage_cluster(dataset, state),
@@ -502,6 +598,7 @@ impl Pipeline {
         let fallback = degraded_engine(&assoc_index, StageId::Associate);
         let n = post_hashes.len();
         let mut occurrences: Vec<Option<usize>> = vec![None; n];
+        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
         if n > 0 && !annotated.is_empty() {
             let groups = HashGroups::new(post_hashes);
             self.metrics
@@ -515,24 +612,75 @@ impl Pipeline {
             let annotated = &annotated;
             let assoc_index = &assoc_index;
             let groups_ref = &groups;
-            crossbeam::thread::scope(|s| {
-                for (chunk_id, slot_chunk) in unique_occ.chunks_mut(chunk_len).enumerate() {
-                    s.spawn(move |_| {
-                        let mut scratch = QueryScratch::new();
-                        let mut hits = Vec::new();
-                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            let h = groups_ref.unique()[chunk_id * chunk_len + off];
-                            assoc_index.radius_query_into(h, theta, &mut scratch, &mut hits);
-                            *slot = hits
-                                .iter()
-                                .min_by_key(|&&pos| (h.distance(assoc_index.hash_at(pos)), pos))
-                                .map(|&pos| annotated[pos]);
-                        }
-                    });
+            if !self.faults.enabled() {
+                crossbeam::thread::scope(|s| {
+                    for (chunk_id, slot_chunk) in unique_occ.chunks_mut(chunk_len).enumerate() {
+                        s.spawn(move |_| {
+                            let mut scratch = QueryScratch::new();
+                            let mut hits = Vec::new();
+                            for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                                let h = groups_ref.unique()[chunk_id * chunk_len + off];
+                                assoc_index.radius_query_into(h, theta, &mut scratch, &mut hits);
+                                *slot = hits
+                                    .iter()
+                                    .min_by_key(|&&pos| (h.distance(assoc_index.hash_at(pos)), pos))
+                                    .map(|&pos| annotated[pos]);
+                            }
+                        });
+                    }
+                })
+                // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
+                .expect("association worker panicked");
+            } else {
+                // Fault-aware twin of the loop above: per-item verdicts
+                // are collected positionally (chunked exactly like the
+                // slots), so thread count cannot reorder them. Faulted
+                // items keep the `None` sentinel — a poison hash simply
+                // matches no cluster.
+                let mut verdicts: Vec<ItemFault> = vec![ItemFault::Pass; n_unique];
+                let faults = &*self.faults;
+                let attempt = self.attempt;
+                crossbeam::thread::scope(|s| {
+                    for ((chunk_id, slot_chunk), verdict_chunk) in unique_occ
+                        .chunks_mut(chunk_len)
+                        .enumerate()
+                        .zip(verdicts.chunks_mut(chunk_len))
+                    {
+                        s.spawn(move |_| {
+                            let mut scratch = QueryScratch::new();
+                            let mut hits = Vec::new();
+                            for (off, (slot, verdict)) in slot_chunk
+                                .iter_mut()
+                                .zip(verdict_chunk.iter_mut())
+                                .enumerate()
+                            {
+                                let k = chunk_id * chunk_len + off;
+                                *verdict = faults.item_fault(StageId::Associate, k, attempt);
+                                if *verdict != ItemFault::Pass {
+                                    continue;
+                                }
+                                let h = groups_ref.unique()[k];
+                                assoc_index.radius_query_into(h, theta, &mut scratch, &mut hits);
+                                *slot = hits
+                                    .iter()
+                                    .min_by_key(|&&pos| (h.distance(assoc_index.hash_at(pos)), pos))
+                                    .map(|&pos| annotated[pos]);
+                            }
+                        });
+                    }
+                })
+                // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
+                .expect("association worker panicked");
+                // Quarantine coordinates are post indices: map each
+                // poisoned unique hash to its first owning post.
+                let mut first_owner = vec![usize::MAX; n_unique];
+                for i in (0..n).rev() {
+                    first_owner[groups.owner_of(i)] = i;
                 }
-            })
-            // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
-            .expect("association worker panicked");
+                quarantined = collect_item_verdicts(StageId::Associate, &verdicts, attempt, |k| {
+                    first_owner[k]
+                })?;
+            }
             for (i, slot) in occurrences.iter_mut().enumerate() {
                 *slot = unique_occ[groups.owner_of(i)];
             }
@@ -546,36 +694,79 @@ impl Pipeline {
             .add("associate.annotated_medoids", annotated.len() as u64);
         state.occurrences = Some(occurrences);
         state.degradations.extend(fallback);
+        record_quarantined(state, StageId::Associate, quarantined);
         Ok(())
     }
 
     /// Step 1 worker: hash every post's image in parallel.
-    fn hash_posts(&self, dataset: &Dataset) -> Vec<PHash> {
+    ///
+    /// Under an active fault oracle, every item's verdict is collected
+    /// (deterministically, in a pre-chunked verdict table so thread
+    /// count cannot reorder anything): transient item faults abort the
+    /// stage with a retryable [`StageError::Transient`]; poison items
+    /// keep the `PHash::default()` sentinel and come back as quarantine
+    /// entries. The clean path is the original loop, untouched.
+    fn hash_posts(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<(Vec<PHash>, Vec<QuarantineEntry>), PipelineError> {
         let n = dataset.posts.len();
         if n == 0 {
             // `.clamp(1, n)` with n = 0 panics (min > max), and a zero
             // chunk length would panic `chunks_mut`; an empty corpus
             // simply has no hashes.
-            return Vec::new();
+            return Ok((Vec::new(), Vec::new()));
         }
         let threads = effective_threads(self.config.threads, n);
         let chunk_len = n.div_ceil(threads);
         self.metrics.add("hash.images", n as u64);
         let mut hashes = vec![PHash::default(); n];
+        if !self.faults.enabled() {
+            crossbeam::thread::scope(|s| {
+                for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+                    s.spawn(move |_| {
+                        let hasher = PerceptualHasher::new();
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            let post = &dataset.posts[chunk_id * chunk_len + off];
+                            *slot = hasher.hash(&dataset.render_post_image(post));
+                        }
+                    });
+                }
+            })
+            // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
+            .expect("hashing worker panicked");
+            return Ok((hashes, Vec::new()));
+        }
+        let mut verdicts: Vec<ItemFault> = vec![ItemFault::Pass; n];
+        let faults = &*self.faults;
+        let attempt = self.attempt;
         crossbeam::thread::scope(|s| {
-            for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+            for ((chunk_id, slot_chunk), verdict_chunk) in hashes
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .zip(verdicts.chunks_mut(chunk_len))
+            {
                 s.spawn(move |_| {
                     let hasher = PerceptualHasher::new();
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        let post = &dataset.posts[chunk_id * chunk_len + off];
-                        *slot = hasher.hash(&dataset.render_post_image(post));
+                    for (off, (slot, verdict)) in slot_chunk
+                        .iter_mut()
+                        .zip(verdict_chunk.iter_mut())
+                        .enumerate()
+                    {
+                        let i = chunk_id * chunk_len + off;
+                        *verdict = faults.item_fault(StageId::Hash, i, attempt);
+                        if *verdict == ItemFault::Pass {
+                            let post = &dataset.posts[i];
+                            *slot = hasher.hash(&dataset.render_post_image(post));
+                        }
+                        // Faulted items keep the PHash::default() sentinel.
                     }
                 });
             }
         })
         // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
         .expect("hashing worker panicked");
-        hashes
+        collect_item_verdicts(StageId::Hash, &verdicts, attempt, |i| i).map(|q| (hashes, q))
     }
 
     /// Step 4 worker: filter galleries, hash survivors, build the site.
@@ -671,6 +862,67 @@ fn req<T>(slot: &Option<T>, stage: StageId) -> Result<&T, PipelineError> {
             "stage `{stage}` needs output from an earlier stage that is missing"
         ))
     })
+}
+
+/// Fold a stage's quarantine batch into the run state: one degradation
+/// summarising the batch plus the individual dead-letter entries (the
+/// supervisor persists the latter to `quarantine.jsonl`).
+fn record_quarantined(state: &mut StageState, stage: StageId, entries: Vec<QuarantineEntry>) {
+    if entries.is_empty() {
+        return;
+    }
+    state.degradations.push(Degradation::ItemsQuarantined {
+        stage,
+        items: entries.len(),
+    });
+    state.quarantined.extend(entries);
+}
+
+/// Turn a stage's per-item fault verdicts into either a retryable
+/// [`StageError::Transient`] (any transient verdict aborts the attempt;
+/// the supervisor re-runs the whole stage deterministically) or the
+/// batch of quarantine entries for the poison verdicts. `coord` maps a
+/// verdict index to its post index (identity for the hash stage; the
+/// first-owner table for deduplicated association).
+fn collect_item_verdicts(
+    stage: StageId,
+    verdicts: &[ItemFault],
+    attempt: u32,
+    coord: impl Fn(usize) -> usize,
+) -> Result<Vec<QuarantineEntry>, PipelineError> {
+    let transient = verdicts
+        .iter()
+        .filter(|v| **v == ItemFault::Transient)
+        .count();
+    if transient > 0 {
+        let first = verdicts
+            .iter()
+            .position(|v| *v == ItemFault::Transient)
+            .unwrap_or(0);
+        return Err(PipelineError::Stage {
+            stage,
+            cluster: None,
+            source: StageError::Transient {
+                detail: format!(
+                    "{transient} item(s) failed transiently (first: post {})",
+                    coord(first)
+                ),
+            },
+        });
+    }
+    Ok(verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v == ItemFault::Poison)
+        .map(|(k, _)| QuarantineEntry {
+            stage,
+            item: coord(k),
+            reason: QuarantineReason::PoisonItem {
+                attempts: attempt + 1,
+                detail: "item failed on every attempt".to_string(),
+            },
+        })
+        .collect())
 }
 
 /// The degradation record for an index that fell back, if it did.
@@ -1069,7 +1321,9 @@ mod tests {
                 threads,
                 ..PipelineConfig::fast()
             });
-            assert!(pipeline.hash_posts(&dataset).is_empty());
+            let (hashes, quarantined) = pipeline.hash_posts(&dataset).unwrap();
+            assert!(hashes.is_empty());
+            assert!(quarantined.is_empty());
         }
     }
 

@@ -3,12 +3,23 @@
 //! [`PipelineRunner`] drives a [`Pipeline`] through its steps as named,
 //! resumable **stages** ([`StageId`]). After every stage it snapshots a
 //! [`Checkpoint`] — the accumulated [`StageState`], the configuration,
-//! and a fingerprint of the dataset — to disk (atomically: a temp file
-//! renamed into place), so a run killed after stage *k* can
-//! [`PipelineRunner::resume`] from stage *k + 1* instead of starting
-//! over. This mirrors the paper's own batch/one-time-task split (§3.3):
-//! the expensive phases (hashing 160M images, pairwise distances) are
-//! exactly the ones worth never redoing.
+//! and a fingerprint of the dataset — to disk, so a run killed after
+//! stage *k* can [`PipelineRunner::resume`] from stage *k + 1* instead
+//! of starting over. This mirrors the paper's own batch/one-time-task
+//! split (§3.3): the expensive phases (hashing 160M images, pairwise
+//! distances) are exactly the ones worth never redoing.
+//!
+//! On-disk integrity (DESIGN.md §11): checkpoints are wrapped in a
+//! checksummed, schema-versioned **envelope** — a one-line ASCII header
+//! carrying a CRC-32 and byte length of the JSON payload — and written
+//! via a uniquely-named temp file renamed into place, with the previous
+//! generation kept as `<path>.prev` for rollback. [`decode_checkpoint`]
+//! classifies every defect as **torn** (truncated/garbled bytes, CRC or
+//! length mismatch) or **stale** (a checkpoint from another schema
+//! version); [`fsck_bytes`] adds **mismatched** (wrong dataset or
+//! configuration) for the `memes fsck` subcommand. Persistence is
+//! routed through the [`CheckpointMedium`] trait so the chaos suite can
+//! inject write failures and torn writes deterministically.
 //!
 //! A checkpoint is only honoured when it matches the dataset **and** the
 //! configuration it was taken under; anything else is a
@@ -16,6 +27,7 @@
 //! outputs across configs would corrupt every downstream figure.
 
 use crate::pipeline::{Degradation, Pipeline, PipelineConfig, PipelineError, PipelineOutput};
+use crate::quarantine::QuarantineEntry;
 use meme_annotate::annotator::ClusterAnnotation;
 use meme_annotate::kym::KymSite;
 use meme_annotate::screenshot::ClassifierMetrics;
@@ -26,6 +38,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The named pipeline stages, in execution order.
 ///
@@ -103,6 +116,12 @@ pub struct StageState {
     pub occurrences: Option<Vec<Option<usize>>>,
     /// Degradations recorded so far, in stage order.
     pub degradations: Vec<Degradation>,
+    /// Poison items diverted to quarantine so far, in stage order
+    /// (checkpointed so a resumed run keeps its dead-letter record; the
+    /// batch is summarised in `degradations`, not in the output).
+    /// Always present in v2 envelopes — pre-envelope checkpoints are
+    /// rejected as stale before deserialization.
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 impl StageState {
@@ -167,13 +186,14 @@ impl Checkpoint {
             .find(|s| !self.completed.contains(s))
     }
 
-    /// Serialize to JSON.
+    /// Serialize the payload to JSON (no integrity envelope — see
+    /// [`encode_checkpoint`] for the on-disk format).
     pub fn to_json(&self) -> String {
         // lint:allow(panic-in-pipeline): vendored serde serialization of plain structs is infallible
         serde_json::to_string(self).expect("checkpoint serializes")
     }
 
-    /// Restore a checkpoint saved with [`Checkpoint::to_json`].
+    /// Restore a checkpoint payload saved with [`Checkpoint::to_json`].
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
@@ -197,6 +217,437 @@ pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
         h = eat(h, p.community.index() as u64);
     }
     h
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint envelope: `MEMES-CKPT v<N> crc32=<hex> len=<bytes>\n<json>`
+// ---------------------------------------------------------------------
+
+/// Schema version written into every checkpoint envelope. Bumped when
+/// the payload layout changes incompatibly; older versions decode as
+/// [`CheckpointDefect::Stale`].
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
+
+const CKPT_MAGIC: &str = "MEMES-CKPT";
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the
+/// envelope checksum. Bitwise, dependency-free; checkpoint writes are
+/// dominated by serialization, not by this.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// How a checkpoint file failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointDefect {
+    /// The bytes on disk are not a complete, intact envelope: truncated
+    /// header or payload, CRC/length mismatch, or garbage — the
+    /// signature of a crash mid-write or outside interference.
+    Torn {
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// The file is a well-formed checkpoint from a different schema
+    /// version (including pre-envelope v1 files) that this build will
+    /// not reinterpret.
+    Stale {
+        /// Which version was found.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Torn { detail } => write!(f, "torn checkpoint: {detail}"),
+            Self::Stale { detail } => write!(f, "stale checkpoint: {detail}"),
+        }
+    }
+}
+
+/// Wrap a checkpoint in its integrity envelope: a one-line ASCII header
+/// carrying the schema version, a CRC-32 over the JSON payload, and the
+/// payload's byte length, followed by the payload itself.
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let payload = ckpt.to_json();
+    let mut out = format!(
+        "{CKPT_MAGIC} v{CHECKPOINT_SCHEMA_VERSION} crc32={:08x} len={}\n",
+        crc32(payload.as_bytes()),
+        payload.len()
+    );
+    out.push_str(&payload);
+    out.into_bytes()
+}
+
+/// Decode and verify an enveloped checkpoint, classifying every failure
+/// as [`CheckpointDefect::Torn`] or [`CheckpointDefect::Stale`] — never
+/// a panic, and never a silent success on damaged bytes.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointDefect> {
+    if bytes.is_empty() {
+        return Err(CheckpointDefect::Torn {
+            detail: "file is empty".to_string(),
+        });
+    }
+    let header_end = bytes.iter().position(|&b| b == b'\n');
+    let header_bytes = match header_end {
+        Some(i) => &bytes[..i],
+        None => bytes,
+    };
+    let fields = std::str::from_utf8(header_bytes)
+        .ok()
+        .and_then(parse_header);
+    let Some((version, crc, len)) = fields else {
+        return Err(classify_headerless(bytes));
+    };
+    if version != CHECKPOINT_SCHEMA_VERSION {
+        return Err(CheckpointDefect::Stale {
+            detail: format!(
+                "envelope schema v{version}; this build reads v{CHECKPOINT_SCHEMA_VERSION}"
+            ),
+        });
+    }
+    let payload = match header_end {
+        Some(i) => &bytes[i + 1..],
+        None => &[][..],
+    };
+    if payload.len() != len {
+        return Err(CheckpointDefect::Torn {
+            detail: format!(
+                "payload is {} byte(s), header expects {len} — truncated or overwritten",
+                payload.len()
+            ),
+        });
+    }
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(CheckpointDefect::Torn {
+            detail: format!("payload CRC {actual:08x} does not match header CRC {crc:08x}"),
+        });
+    }
+    // lint:allow(untyped-error): maps into the typed CheckpointDefect classification
+    let text = std::str::from_utf8(payload).map_err(|e| CheckpointDefect::Torn {
+        detail: format!("payload is not UTF-8: {e}"),
+    })?;
+    // lint:allow(untyped-error): maps into the typed CheckpointDefect classification
+    Checkpoint::from_json(text).map_err(|e| CheckpointDefect::Torn {
+        detail: format!("envelope verifies but payload does not decode: {e}"),
+    })
+}
+
+/// Parse `MEMES-CKPT v<N> crc32=<hex8> len=<N>`.
+fn parse_header(line: &str) -> Option<(u32, u32, usize)> {
+    let rest = line.strip_prefix(CKPT_MAGIC)?.strip_prefix(" v")?;
+    let mut parts = rest.split(' ');
+    let version: u32 = parts.next()?.parse().ok()?;
+    let crc = u32::from_str_radix(parts.next()?.strip_prefix("crc32=")?, 16).ok()?;
+    let len: usize = parts.next()?.strip_prefix("len=")?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((version, crc, len))
+}
+
+/// Classify bytes with no parseable envelope header: a recognizable
+/// pre-envelope (v1) checkpoint is *stale*; everything else is *torn*.
+fn classify_headerless(bytes: &[u8]) -> CheckpointDefect {
+    if bytes.starts_with(CKPT_MAGIC.as_bytes()) {
+        return CheckpointDefect::Torn {
+            detail: "envelope header is truncated or garbled".to_string(),
+        };
+    }
+    if let Ok(text) = std::str::from_utf8(bytes) {
+        if let Ok(v) = serde_json::from_str::<serde::Value>(text) {
+            if v.as_object()
+                .is_some_and(|o| o.iter().any(|(k, _)| k == "dataset_fingerprint"))
+            {
+                return CheckpointDefect::Stale {
+                    detail: "pre-envelope (v1) checkpoint without an integrity header".to_string(),
+                };
+            }
+            return CheckpointDefect::Torn {
+                detail: "valid JSON but not a checkpoint".to_string(),
+            };
+        }
+    }
+    CheckpointDefect::Torn {
+        detail: "no envelope header and not a legacy checkpoint".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence medium + generational persist
+// ---------------------------------------------------------------------
+
+/// A checkpoint I/O failure, typed with the operation and path so retry
+/// and fault-injection layers can reason about it.
+#[derive(Debug, Clone)]
+pub struct MediumError {
+    /// The operation that failed (`"write"`, `"rename"`, `"read"`).
+    pub op: &'static str,
+    /// The path involved.
+    pub path: String,
+    /// The rendered cause.
+    pub detail: String,
+}
+
+impl fmt::Display for MediumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.op, self.path, self.detail)
+    }
+}
+
+impl std::error::Error for MediumError {}
+
+/// The I/O surface checkpoint persistence goes through. The production
+/// implementation is [`DiskMedium`]; the chaos suite substitutes a
+/// fault-injecting one (`supervise::FaultyMedium`) to schedule write
+/// failures and torn writes deterministically.
+pub trait CheckpointMedium: fmt::Debug + Send + Sync {
+    /// Write `bytes` to `path`, creating or truncating it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), MediumError>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), MediumError>;
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> Result<Vec<u8>, MediumError>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskMedium;
+
+impl CheckpointMedium for DiskMedium {
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), MediumError> {
+        fs::write(path, bytes).map_err(|e| MediumError {
+            op: "write",
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), MediumError> {
+        fs::rename(from, to).map_err(|e| MediumError {
+            op: "rename",
+            path: format!("{} -> {}", from.display(), to.display()),
+            detail: e.to_string(),
+        })
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, MediumError> {
+        fs::read(path).map_err(|e| MediumError {
+            op: "read",
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Where the previous checkpoint generation is kept: `<path>.prev`.
+pub fn prev_checkpoint_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".prev");
+    PathBuf::from(s)
+}
+
+/// Process-wide counter making concurrent temp names distinct.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temp name unique to this process *and* this persist call:
+/// `<path>.<pid>-<n>.ckpt-tmp`. Two runners sharing a checkpoint path
+/// thus never clobber each other's in-flight temp file (the final
+/// rename still races — see [`persist_checkpoint`]'s single-writer
+/// contract — but a loser can no longer tear the winner's bytes).
+fn unique_tmp_path(path: &Path) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut s = path.as_os_str().to_os_string();
+    s.push(format!(".{}-{n}.ckpt-tmp", std::process::id()));
+    PathBuf::from(s)
+}
+
+/// Persist a checkpoint crash-safely: encode with the integrity
+/// envelope, write to a uniquely-named temp file, roll the current file
+/// (if any) to `<path>.prev`, then rename the temp into place. A crash
+/// at any point leaves either the old generation, the old generation
+/// plus a stray temp file, or the new generation — never a file with
+/// mixed bytes (a *medium* may still lie about durability; that is
+/// exactly the torn-write fault [`decode_checkpoint`] exists to catch).
+///
+/// Single-writer contract: generations assume one writer per checkpoint
+/// path. Concurrent writers no longer tear each other's temp files, but
+/// current/`.prev` would interleave arbitrarily — give each run its own
+/// path.
+pub fn persist_checkpoint(
+    medium: &dyn CheckpointMedium,
+    path: &Path,
+    ckpt: &Checkpoint,
+) -> Result<(), PipelineError> {
+    let tmp = unique_tmp_path(path);
+    let result = (|| {
+        medium.write(&tmp, &encode_checkpoint(ckpt))?;
+        if medium.exists(path) {
+            medium.rename(path, &prev_checkpoint_path(path))?;
+        }
+        medium.rename(&tmp, path)
+    })();
+    result.map_err(|e| {
+        // Best effort: do not leave the stray temp file behind.
+        let _ = fs::remove_file(&tmp);
+        PipelineError::CheckpointIo(e.to_string())
+    })
+}
+
+/// Read, decode, and validate a checkpoint against the dataset and
+/// configuration of the run asking to resume from it.
+pub(crate) fn load_validated(
+    medium: &dyn CheckpointMedium,
+    path: &Path,
+    dataset: &Dataset,
+    config: &PipelineConfig,
+) -> Result<Checkpoint, PipelineError> {
+    let bytes = medium
+        .read(path)
+        .map_err(|e| PipelineError::CheckpointIo(e.to_string()))?;
+    let ckpt =
+        decode_checkpoint(&bytes).map_err(|d| PipelineError::CheckpointCorrupt(d.to_string()))?;
+    let expect = dataset_fingerprint(dataset);
+    if ckpt.dataset_fingerprint != expect {
+        return Err(PipelineError::CheckpointMismatch(format!(
+            "checkpoint was taken on a different dataset \
+             (fingerprint {:#018x}, expected {expect:#018x})",
+            ckpt.dataset_fingerprint
+        )));
+    }
+    if ckpt.config != *config {
+        return Err(PipelineError::CheckpointMismatch(
+            "checkpoint was taken under a different pipeline configuration".into(),
+        ));
+    }
+    Ok(ckpt)
+}
+
+// ---------------------------------------------------------------------
+// fsck
+// ---------------------------------------------------------------------
+
+/// `memes fsck` verdict for one checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsckClass {
+    /// Envelope verifies; payload decodes; matches the expected dataset
+    /// and configuration when those were supplied.
+    Clean,
+    /// Truncated/garbled bytes, CRC or length mismatch.
+    Torn,
+    /// A well-formed checkpoint from another schema version.
+    Stale,
+    /// Intact, but taken on a different dataset or configuration.
+    Mismatched,
+}
+
+impl FsckClass {
+    /// Stable lowercase label (CLI output, artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Clean => "clean",
+            Self::Torn => "torn",
+            Self::Stale => "stale",
+            Self::Mismatched => "mismatched",
+        }
+    }
+}
+
+impl fmt::Display for FsckClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of checking one checkpoint file.
+#[derive(Debug, Clone)]
+pub struct FsckReport {
+    /// The verdict.
+    pub class: FsckClass,
+    /// Human-readable specifics (what failed, or what was completed).
+    pub detail: String,
+    /// Completed stages, when the payload decoded.
+    pub completed: Vec<StageId>,
+}
+
+/// Classify checkpoint bytes. Pass the expected dataset fingerprint and
+/// configuration to additionally detect [`FsckClass::Mismatched`]; with
+/// `None`, an intact checkpoint from *any* run is [`FsckClass::Clean`].
+pub fn fsck_bytes(bytes: &[u8], expect: Option<(u64, &PipelineConfig)>) -> FsckReport {
+    let ckpt = match decode_checkpoint(bytes) {
+        Ok(ckpt) => ckpt,
+        Err(CheckpointDefect::Torn { detail }) => {
+            return FsckReport {
+                class: FsckClass::Torn,
+                detail,
+                completed: Vec::new(),
+            }
+        }
+        Err(CheckpointDefect::Stale { detail }) => {
+            return FsckReport {
+                class: FsckClass::Stale,
+                detail,
+                completed: Vec::new(),
+            }
+        }
+    };
+    let completed = ckpt.completed.clone();
+    if let Some((fingerprint, config)) = expect {
+        if ckpt.dataset_fingerprint != fingerprint {
+            return FsckReport {
+                class: FsckClass::Mismatched,
+                detail: format!(
+                    "dataset fingerprint {:#018x}, expected {fingerprint:#018x}",
+                    ckpt.dataset_fingerprint
+                ),
+                completed,
+            };
+        }
+        if ckpt.config != *config {
+            return FsckReport {
+                class: FsckClass::Mismatched,
+                detail: "configuration differs from the one supplied".to_string(),
+                completed,
+            };
+        }
+    }
+    FsckReport {
+        class: FsckClass::Clean,
+        detail: format!(
+            "{} of {} stage(s) completed",
+            completed.len(),
+            StageId::ALL.len()
+        ),
+        completed,
+    }
+}
+
+/// [`fsck_bytes`] over a file on a medium; unreadable files are a
+/// [`PipelineError::CheckpointIo`] (operational, not a verdict).
+pub fn fsck_file(
+    medium: &dyn CheckpointMedium,
+    path: &Path,
+    expect: Option<(u64, &PipelineConfig)>,
+) -> Result<FsckReport, PipelineError> {
+    let bytes = medium
+        .read(path)
+        .map_err(|e| PipelineError::CheckpointIo(e.to_string()))?;
+    Ok(fsck_bytes(&bytes, expect))
 }
 
 /// What a runner invocation produced.
@@ -280,32 +731,12 @@ impl PipelineRunner {
             return Err(PipelineError::EmptyDataset);
         }
         let ckpt = match &self.checkpoint_path {
-            Some(path) if path.exists() => self.load(dataset, path)?,
+            Some(path) if path.exists() => {
+                load_validated(&DiskMedium, path, dataset, self.pipeline.config())?
+            }
             _ => Checkpoint::fresh(dataset, self.pipeline.config().clone()),
         };
         self.drive(dataset, ckpt)
-    }
-
-    /// Load and validate the checkpoint file.
-    fn load(&self, dataset: &Dataset, path: &Path) -> Result<Checkpoint, PipelineError> {
-        let text = fs::read_to_string(path)
-            .map_err(|e| PipelineError::CheckpointIo(format!("read {}: {e}", path.display())))?;
-        let ckpt = Checkpoint::from_json(&text)
-            .map_err(|e| PipelineError::CheckpointCorrupt(e.to_string()))?;
-        let expect = dataset_fingerprint(dataset);
-        if ckpt.dataset_fingerprint != expect {
-            return Err(PipelineError::CheckpointMismatch(format!(
-                "checkpoint was taken on a different dataset \
-                 (fingerprint {:#018x}, expected {expect:#018x})",
-                ckpt.dataset_fingerprint
-            )));
-        }
-        if ckpt.config != *self.pipeline.config() {
-            return Err(PipelineError::CheckpointMismatch(
-                "checkpoint was taken under a different pipeline configuration".into(),
-            ));
-        }
-        Ok(ckpt)
     }
 
     /// Run the stages the checkpoint has not yet completed.
@@ -341,30 +772,19 @@ impl PipelineRunner {
             .map(|out| RunnerOutcome::Complete(Box::new(out)))
     }
 
-    /// Atomically persist the checkpoint (write temp file, then rename)
-    /// so a crash mid-write never leaves a truncated checkpoint behind.
+    /// Persist the checkpoint crash-safely (see [`persist_checkpoint`]).
     fn save(&self, ckpt: &Checkpoint) -> Result<(), PipelineError> {
         let Some(path) = &self.checkpoint_path else {
             return Ok(());
         };
-        let tmp = path.with_extension("ckpt-tmp");
-        fs::write(&tmp, ckpt.to_json())
-            .map_err(|e| PipelineError::CheckpointIo(format!("write {}: {e}", tmp.display())))?;
-        fs::rename(&tmp, path).map_err(|e| {
-            PipelineError::CheckpointIo(format!(
-                "rename {} -> {}: {e}",
-                tmp.display(),
-                path.display()
-            ))
-        })?;
-        Ok(())
+        persist_checkpoint(&DiskMedium, path, ckpt)
     }
 }
 
 /// Derive a stage's items-per-second gauge from its wall time and the
 /// work counter the stage itself recorded. Gauges hold the last value,
 /// so on a resumed run they reflect the stages that actually ran.
-fn record_throughput(metrics: &meme_metrics::Metrics, stage: StageId, elapsed: f64) {
+pub(crate) fn record_throughput(metrics: &meme_metrics::Metrics, stage: StageId, elapsed: f64) {
     if !metrics.is_enabled() || elapsed <= 0.0 {
         return;
     }
@@ -412,6 +832,148 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_verifies() {
+        let dataset = SimConfig::tiny(21).generate();
+        let ckpt = Checkpoint::fresh(&dataset, PipelineConfig::fast());
+        let bytes = encode_checkpoint(&ckpt);
+        let back = decode_checkpoint(&bytes).expect("clean envelope decodes");
+        assert_eq!(back.dataset_fingerprint, ckpt.dataset_fingerprint);
+        assert_eq!(back.to_json(), ckpt.to_json());
+    }
+
+    #[test]
+    fn torn_envelopes_are_classified_torn_at_every_offset() {
+        // Satellite regression: truncations at header, boundary, and
+        // payload offsets — plus bit rot — must all classify as Torn.
+        let dataset = SimConfig::tiny(21).generate();
+        let ckpt = Checkpoint::fresh(&dataset, PipelineConfig::fast());
+        let bytes = encode_checkpoint(&ckpt);
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let offsets = [
+            0,
+            1,
+            header_len - 2,
+            header_len,
+            header_len + 1,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ];
+        for &cut in &offsets {
+            let defect = decode_checkpoint(&bytes[..cut]).expect_err("truncation must not decode");
+            assert!(
+                matches!(defect, CheckpointDefect::Torn { .. }),
+                "cut at {cut}: {defect}"
+            );
+        }
+        // A flipped payload bit fails the CRC even when the length holds.
+        let mut rotted = bytes.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x01;
+        assert!(matches!(
+            decode_checkpoint(&rotted),
+            Err(CheckpointDefect::Torn { .. })
+        ));
+    }
+
+    #[test]
+    fn pre_envelope_checkpoints_are_stale_not_torn() {
+        let dataset = SimConfig::tiny(21).generate();
+        let ckpt = Checkpoint::fresh(&dataset, PipelineConfig::fast());
+        // A v1 file was the bare JSON payload.
+        let defect = decode_checkpoint(ckpt.to_json().as_bytes()).expect_err("v1 must not decode");
+        assert!(matches!(defect, CheckpointDefect::Stale { .. }), "{defect}");
+        // As is a well-formed envelope from a future schema version.
+        let mut bytes = encode_checkpoint(&ckpt);
+        let header = format!("{CKPT_MAGIC} v{}", CHECKPOINT_SCHEMA_VERSION + 1);
+        let old = format!("{CKPT_MAGIC} v{CHECKPOINT_SCHEMA_VERSION}");
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        bytes = text.replacen(&old, &header, 1).into_bytes();
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(CheckpointDefect::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn temp_names_are_unique_per_persist() {
+        // Satellite regression: two runners sharing a checkpoint path
+        // must not write through the same temp file.
+        let path = tmp_path("unique");
+        let a = unique_tmp_path(&path);
+        let b = unique_tmp_path(&path);
+        assert_ne!(a, b);
+        for t in [&a, &b] {
+            let name = t.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(name.ends_with(".ckpt-tmp"), "{name}");
+            assert!(
+                name.contains(&std::process::id().to_string()),
+                "temp name must carry the pid: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn persist_keeps_the_previous_generation() {
+        let dataset = SimConfig::tiny(21).generate();
+        let path = tmp_path("generations");
+        let prev = prev_checkpoint_path(&path);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&prev);
+
+        let mut ckpt = Checkpoint::fresh(&dataset, PipelineConfig::fast());
+        persist_checkpoint(&DiskMedium, &path, &ckpt).unwrap();
+        assert!(path.exists());
+        assert!(!prev.exists(), "first persist has no previous generation");
+
+        ckpt.completed.push(StageId::Hash);
+        persist_checkpoint(&DiskMedium, &path, &ckpt).unwrap();
+        let current = decode_checkpoint(&fs::read(&path).unwrap()).unwrap();
+        let rolled = decode_checkpoint(&fs::read(&prev).unwrap()).unwrap();
+        assert_eq!(current.completed, vec![StageId::Hash]);
+        assert!(rolled.completed.is_empty(), "prev holds generation n-1");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&prev);
+    }
+
+    #[test]
+    fn fsck_classifies_all_four_states() {
+        let dataset = SimConfig::tiny(21).generate();
+        let other = SimConfig::tiny(22).generate();
+        let config = PipelineConfig::fast();
+        let ckpt = Checkpoint::fresh(&dataset, config.clone());
+        let bytes = encode_checkpoint(&ckpt);
+        let fp = dataset_fingerprint(&dataset);
+
+        let clean = fsck_bytes(&bytes, Some((fp, &config)));
+        assert_eq!(clean.class, FsckClass::Clean);
+
+        let torn = fsck_bytes(&bytes[..bytes.len() / 2], Some((fp, &config)));
+        assert_eq!(torn.class, FsckClass::Torn);
+
+        let stale = fsck_bytes(ckpt.to_json().as_bytes(), Some((fp, &config)));
+        assert_eq!(stale.class, FsckClass::Stale);
+
+        let wrong_fp = dataset_fingerprint(&other);
+        let mismatched = fsck_bytes(&bytes, Some((wrong_fp, &config)));
+        assert_eq!(mismatched.class, FsckClass::Mismatched);
+
+        let mut changed = config.clone();
+        changed.theta = 5;
+        let mismatched = fsck_bytes(&bytes, Some((fp, &changed)));
+        assert_eq!(mismatched.class, FsckClass::Mismatched);
+
+        // Without expectations, any intact checkpoint is clean.
+        assert_eq!(fsck_bytes(&bytes, None).class, FsckClass::Clean);
+    }
+
+    #[test]
     fn runner_matches_plain_pipeline() {
         let dataset = SimConfig::tiny(23).generate();
         let pipeline = Pipeline::new(PipelineConfig::fast());
@@ -431,6 +993,7 @@ mod tests {
         for stage in StageId::ALL {
             let path = tmp_path(&format!("halt-{stage}"));
             let _ = fs::remove_file(&path);
+            let _ = fs::remove_file(prev_checkpoint_path(&path));
             let runner = PipelineRunner::new(pipeline.clone())
                 .with_checkpoint(&path)
                 .halt_after(stage);
@@ -438,7 +1001,7 @@ mod tests {
             let resumed = match outcome {
                 RunnerOutcome::Halted { after } => {
                     assert_eq!(after, stage);
-                    let ckpt = Checkpoint::from_json(&fs::read_to_string(&path).unwrap()).unwrap();
+                    let ckpt = decode_checkpoint(&fs::read(&path).unwrap()).unwrap();
                     assert!(ckpt.completed.contains(&stage));
                     assert!(!ckpt.is_complete());
                     PipelineRunner::new(pipeline.clone())
@@ -452,6 +1015,7 @@ mod tests {
             };
             assert_eq!(whole.to_json(), resumed.to_json(), "stage {stage}");
             let _ = fs::remove_file(&path);
+            let _ = fs::remove_file(prev_checkpoint_path(&path));
         }
     }
 
@@ -478,6 +1042,7 @@ mod tests {
             };
             let path = tmp_path(&format!("threads-{threads}"));
             let _ = fs::remove_file(&path);
+            let _ = fs::remove_file(prev_checkpoint_path(&path));
             let halted = PipelineRunner::new(Pipeline::new(config.clone()))
                 .with_checkpoint(&path)
                 .halt_after(StageId::Cluster)
@@ -495,6 +1060,7 @@ mod tests {
                 "run/resume with {threads} threads diverged from serial reference"
             );
             let _ = fs::remove_file(&path);
+            let _ = fs::remove_file(prev_checkpoint_path(&path));
         }
     }
 
@@ -526,6 +1092,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PipelineError::CheckpointMismatch(_)), "{err}");
         let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(prev_checkpoint_path(&path));
     }
 
     #[test]
@@ -567,5 +1134,41 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PipelineError::CheckpointCorrupt(_)), "{err}");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_resume_is_torn_corrupt_never_a_fresh_run() {
+        // Satellite regression: resume on a torn checkpoint must return
+        // CheckpointCorrupt with the torn classification — not a serde
+        // panic, and *not* a silent fresh run.
+        let dataset = SimConfig::tiny(24).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let path = tmp_path("torn-resume");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(prev_checkpoint_path(&path));
+        let outcome = PipelineRunner::new(pipeline.clone())
+            .with_checkpoint(&path)
+            .halt_after(StageId::Hash)
+            .run(&dataset)
+            .unwrap();
+        assert!(matches!(outcome, RunnerOutcome::Halted { .. }));
+        let bytes = fs::read(&path).unwrap();
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        for cut in [1, header_len - 2, header_len + 1, bytes.len() - 1] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            let err = PipelineRunner::new(pipeline.clone())
+                .with_checkpoint(&path)
+                .resume(&dataset)
+                .unwrap_err();
+            match err {
+                PipelineError::CheckpointCorrupt(detail) => assert!(
+                    detail.contains("torn"),
+                    "cut at {cut}: classification missing from {detail:?}"
+                ),
+                other => panic!("cut at {cut}: expected CheckpointCorrupt, got {other}"),
+            }
+        }
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(prev_checkpoint_path(&path));
     }
 }

@@ -1,0 +1,741 @@
+//! Supervised stage execution (DESIGN.md §11).
+//!
+//! [`SupervisedRunner`] wraps the bare [`PipelineRunner`] loop with the
+//! survival machinery a production batch run needs:
+//!
+//! * **Bounded, deterministic retry/backoff** — each stage attempt runs
+//!   under a [`StagePolicy`]; retryable failures (transient stage and
+//!   item faults, I/O errors, contained panics) are retried up to
+//!   `max_attempts`, with exponential backoff measured in **logical
+//!   ticks** derived from the policy seed (never wall-clock: backoff is
+//!   accounting, not sleeping, so runs stay deterministic and the
+//!   `wallclock-outside-metrics` lint stays green).
+//! * **Panic containment** — every attempt runs under `catch_unwind`;
+//!   a panicking stage becomes a typed
+//!   [`PipelineError::StagePanicked`], never an abort. A failed attempt
+//!   is rolled back field-by-field (each [`StageState`] field is owned
+//!   by exactly one stage, and the ledgers are append-only), so a
+//!   half-finished attempt can never leak into the next — without
+//!   cloning the accumulated state on the happy path.
+//! * **Poison-item quarantine** — items the pipeline diverts to
+//!   [`StageState::quarantined`] are persisted to a `quarantine.jsonl`
+//!   dead-letter file after every stage.
+//! * **Checkpoint write retries and rollback** — persistence failures
+//!   are retried under the same policy; on resume, a torn or stale
+//!   current checkpoint automatically falls back to the previous
+//!   generation (`<path>.prev`), recording a
+//!   [`Degradation::CheckpointRolledBack`] — never a silent fresh run.
+//!
+//! Every decision is deterministic: a retried, resumed, or rolled-back
+//! run produces output byte-identical to an uninterrupted clean run
+//! (the chaos suite in `tests/chaos_exec.rs` holds this line).
+
+use crate::pipeline::{Degradation, Pipeline, PipelineError, PipelineOutput, StageError};
+use crate::quarantine::write_quarantine;
+use crate::runner::{
+    load_validated, persist_checkpoint, prev_checkpoint_path, record_throughput, Checkpoint,
+    CheckpointMedium, DiskMedium, MediumError, RunnerOutcome, StageId, StageState,
+};
+use meme_simweb::{Dataset, ExecFaultSpec, ExecItemFault, ExecStageFault, ExecWriteFault};
+use meme_stats::child_seed;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What an execution-fault oracle does to one stage attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageFault {
+    /// Run normally.
+    Pass,
+    /// Panic mid-stage (containment exercise).
+    Panic,
+    /// Fail with a retryable transient error.
+    Transient,
+}
+
+/// What an execution-fault oracle does to one item of a stage attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemFault {
+    /// Process normally.
+    Pass,
+    /// Fail this attempt; succeed on a later one.
+    Transient,
+    /// Fail every attempt — quarantine material.
+    Poison,
+}
+
+/// The execution-fault oracle the pipeline consults at its fault
+/// points. Production uses [`NoFaults`]; the chaos suite adapts a
+/// [`meme_simweb::ExecFaultSpec`] through [`SpecFaults`].
+pub trait ExecFaults: fmt::Debug + Send + Sync {
+    /// Whether any fault can ever fire (lets hot loops skip per-item
+    /// consultation entirely).
+    fn enabled(&self) -> bool;
+    /// The fault for one attempt of a stage.
+    fn stage_fault(&self, stage: StageId, attempt: u32) -> StageFault;
+    /// The fault for one item of a stage on one attempt.
+    fn item_fault(&self, stage: StageId, item: usize, attempt: u32) -> ItemFault;
+}
+
+/// The production oracle: injects nothing, costs one `bool` check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl ExecFaults for NoFaults {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn stage_fault(&self, _stage: StageId, _attempt: u32) -> StageFault {
+        StageFault::Pass
+    }
+
+    fn item_fault(&self, _stage: StageId, _item: usize, _attempt: u32) -> ItemFault {
+        ItemFault::Pass
+    }
+}
+
+/// Adapts the simulator's substrate-free [`ExecFaultSpec`] (stages
+/// addressed by name) to the pipeline's typed fault points.
+#[derive(Debug, Clone)]
+pub struct SpecFaults(pub ExecFaultSpec);
+
+impl ExecFaults for SpecFaults {
+    fn enabled(&self) -> bool {
+        self.0.is_active()
+    }
+
+    fn stage_fault(&self, stage: StageId, attempt: u32) -> StageFault {
+        match self.0.stage_fault(stage.name(), attempt) {
+            ExecStageFault::Pass => StageFault::Pass,
+            ExecStageFault::Panic => StageFault::Panic,
+            ExecStageFault::Transient => StageFault::Transient,
+        }
+    }
+
+    fn item_fault(&self, stage: StageId, item: usize, attempt: u32) -> ItemFault {
+        match self.0.item_fault(stage.name(), item, attempt) {
+            ExecItemFault::Pass => ItemFault::Pass,
+            ExecItemFault::Transient => ItemFault::Transient,
+            ExecItemFault::Poison => ItemFault::Poison,
+        }
+    }
+}
+
+/// A [`CheckpointMedium`] that injects the write faults an
+/// [`ExecFaultSpec`] schedules: write *k* can fail outright or be torn
+/// (a prefix lands on disk and the call still reports success — the
+/// lying-fsync crash). Reads and renames pass through to disk.
+#[derive(Debug)]
+pub struct FaultyMedium {
+    spec: ExecFaultSpec,
+    writes: AtomicUsize,
+    disk: DiskMedium,
+}
+
+impl FaultyMedium {
+    /// Wrap the disk with a write-fault schedule.
+    pub fn new(spec: ExecFaultSpec) -> Self {
+        Self {
+            spec,
+            writes: AtomicUsize::new(0),
+            disk: DiskMedium,
+        }
+    }
+
+    /// How many writes have been attempted through this medium.
+    pub fn writes(&self) -> usize {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+impl CheckpointMedium for FaultyMedium {
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<(), MediumError> {
+        let k = self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.spec.write_fault(k) {
+            ExecWriteFault::Pass => self.disk.write(path, bytes),
+            ExecWriteFault::Fail => Err(MediumError {
+                op: "write",
+                path: path.display().to_string(),
+                detail: format!("injected write failure (write #{k})"),
+            }),
+            ExecWriteFault::Torn { keep_fraction } => {
+                let keep = ((bytes.len() as f64) * keep_fraction.clamp(0.0, 1.0)) as usize;
+                // The torn write *reports success*: the bytes are gone
+                // but nobody knows yet. decode_checkpoint finds out.
+                self.disk.write(path, &bytes[..keep.min(bytes.len())])
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<(), MediumError> {
+        self.disk.rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> Result<Vec<u8>, MediumError> {
+        self.disk.read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.disk.exists(path)
+    }
+}
+
+/// Per-stage retry/backoff policy. All schedule decisions are pure
+/// functions of `(seed, stage, attempt)` — deterministic, wall-clock
+/// free.
+#[derive(Debug, Clone)]
+pub struct StagePolicy {
+    /// Attempts per stage before the last error is returned (≥ 1).
+    pub max_attempts: u32,
+    /// Attempts per checkpoint write before giving up (≥ 1).
+    pub save_attempts: u32,
+    /// Base backoff in logical ticks; attempt *a* backs off
+    /// `base << a` ticks plus seeded jitter in `[0, base << a)`.
+    pub base_backoff_ticks: u64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for StagePolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            save_attempts: 3,
+            base_backoff_ticks: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl StagePolicy {
+    /// The logical backoff before retrying `stage` after failed attempt
+    /// `attempt` (0-based): truncated exponential plus deterministic
+    /// jitter. Ticks are accounting units recorded in metrics and the
+    /// supervision report — nothing sleeps.
+    pub fn backoff_ticks(&self, stage: StageId, attempt: u32) -> u64 {
+        let scale = self
+            .base_backoff_ticks
+            .saturating_mul(1u64 << attempt.min(20));
+        if scale == 0 {
+            return 0;
+        }
+        let stage_tag = StageId::ALL
+            .iter()
+            .position(|s| *s == stage)
+            .unwrap_or(StageId::ALL.len()) as u64;
+        let jitter = child_seed(child_seed(self.seed, stage_tag), u64::from(attempt)) % scale;
+        scale + jitter
+    }
+}
+
+/// Retry/backoff bookkeeping for one stage that needed retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRetries {
+    /// The stage.
+    pub stage: StageId,
+    /// Retries performed (attempts beyond the first).
+    pub retries: u32,
+    /// Logical backoff ticks accumulated before its retries.
+    pub backoff_ticks: u64,
+}
+
+/// What the supervisor did to keep a run alive.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisionReport {
+    /// Stages that needed retries, in execution order.
+    pub retries: Vec<StageRetries>,
+    /// Panics contained by `catch_unwind` across all attempts.
+    pub panics_contained: u32,
+    /// Total logical backoff ticks across all retries.
+    pub total_backoff_ticks: u64,
+    /// Items sitting in quarantine at the end of the run.
+    pub quarantined_items: usize,
+    /// Whether resume rolled back to the previous checkpoint generation.
+    pub rolled_back: bool,
+    /// Checkpoint generations successfully persisted.
+    pub checkpoint_writes: u32,
+    /// Checkpoint persist attempts that failed and were retried.
+    pub checkpoint_write_retries: u32,
+}
+
+impl SupervisionReport {
+    /// Total retries across all stages.
+    pub fn total_retries(&self) -> u32 {
+        self.retries.iter().map(|r| r.retries).sum()
+    }
+}
+
+/// A supervised run's outcome plus its supervision bookkeeping.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// What the runner produced.
+    pub outcome: RunnerOutcome,
+    /// What supervision had to do along the way.
+    pub report: SupervisionReport,
+}
+
+impl SupervisedRun {
+    /// Unwrap the completed output; panics on a halted run (mirrors
+    /// [`RunnerOutcome::expect_complete`]).
+    pub fn expect_complete(self) -> PipelineOutput {
+        self.outcome.expect_complete()
+    }
+}
+
+/// Drives a [`Pipeline`] stage by stage under a [`StagePolicy`]: retry
+/// with deterministic backoff, contain panics, quarantine poison items,
+/// persist checkpoints through a (possibly fault-injected) medium, and
+/// roll back to the previous checkpoint generation when the current one
+/// is damaged.
+#[derive(Debug)]
+pub struct SupervisedRunner {
+    pipeline: Pipeline,
+    policy: StagePolicy,
+    checkpoint_path: Option<PathBuf>,
+    quarantine_path: Option<PathBuf>,
+    halt_after: Option<StageId>,
+    medium: Arc<dyn CheckpointMedium>,
+}
+
+impl SupervisedRunner {
+    /// A supervised runner with the default policy, the real disk, and
+    /// no checkpoint or quarantine files.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self {
+            pipeline,
+            policy: StagePolicy::default(),
+            checkpoint_path: None,
+            quarantine_path: None,
+            halt_after: None,
+            medium: Arc::new(DiskMedium),
+        }
+    }
+
+    /// Attach a metrics handle (also wired into the pipeline's stages).
+    pub fn with_metrics(mut self, metrics: meme_metrics::Metrics) -> Self {
+        self.pipeline = self.pipeline.with_metrics(metrics);
+        self
+    }
+
+    /// Snapshot a checkpoint to `path` after every completed stage.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Persist quarantined items to `path` (JSON Lines) after every
+    /// stage that quarantined anything.
+    pub fn with_quarantine(mut self, path: impl Into<PathBuf>) -> Self {
+        self.quarantine_path = Some(path.into());
+        self
+    }
+
+    /// Override the retry/backoff policy.
+    pub fn with_policy(mut self, policy: StagePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Route checkpoint persistence through a custom medium (chaos
+    /// testing: [`FaultyMedium`]).
+    pub fn with_medium(mut self, medium: Arc<dyn CheckpointMedium>) -> Self {
+        self.medium = medium;
+        self
+    }
+
+    /// Attach an execution-fault oracle to the pipeline's fault points.
+    pub fn with_exec_faults(mut self, faults: Arc<dyn ExecFaults>) -> Self {
+        self.pipeline = self.pipeline.with_exec_faults(faults);
+        self
+    }
+
+    /// Stop (checkpoint saved) after the given stage completes.
+    pub fn halt_after(mut self, stage: StageId) -> Self {
+        self.halt_after = Some(stage);
+        self
+    }
+
+    /// Run every stage from scratch, ignoring any existing checkpoint.
+    pub fn run(&self, dataset: &Dataset) -> Result<SupervisedRun, PipelineError> {
+        if dataset.posts.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+        let ckpt = Checkpoint::fresh(dataset, self.pipeline.config().clone());
+        self.drive(dataset, ckpt, SupervisionReport::default())
+    }
+
+    /// Continue from the checkpoint on disk. A torn or stale current
+    /// generation falls back to `<path>.prev` when that previous
+    /// generation is intact and matches this run — recording a
+    /// [`Degradation::CheckpointRolledBack`] — and is otherwise the
+    /// original typed error. Never a silent fresh run.
+    pub fn resume(&self, dataset: &Dataset) -> Result<SupervisedRun, PipelineError> {
+        if dataset.posts.is_empty() {
+            return Err(PipelineError::EmptyDataset);
+        }
+        let mut report = SupervisionReport::default();
+        let ckpt = match &self.checkpoint_path {
+            Some(path) if self.medium.exists(path) => {
+                match load_validated(&*self.medium, path, dataset, self.pipeline.config()) {
+                    Ok(ckpt) => ckpt,
+                    Err(PipelineError::CheckpointCorrupt(detail)) => {
+                        self.roll_back(dataset, path, detail, &mut report)?
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            _ => Checkpoint::fresh(dataset, self.pipeline.config().clone()),
+        };
+        self.drive(dataset, ckpt, report)
+    }
+
+    /// Attempt rollback to the previous checkpoint generation.
+    fn roll_back(
+        &self,
+        dataset: &Dataset,
+        path: &Path,
+        detail: String,
+        report: &mut SupervisionReport,
+    ) -> Result<Checkpoint, PipelineError> {
+        let prev = prev_checkpoint_path(path);
+        if !self.medium.exists(&prev) {
+            return Err(PipelineError::CheckpointCorrupt(format!(
+                "{detail} (no previous generation to roll back to)"
+            )));
+        }
+        let mut ckpt = match load_validated(&*self.medium, &prev, dataset, self.pipeline.config()) {
+            Ok(ckpt) => ckpt,
+            // The current generation's defect is the primary error;
+            // the unusable prev only annotates it.
+            Err(e) => {
+                return Err(PipelineError::CheckpointCorrupt(format!(
+                    "{detail} (previous generation unusable too: {e})"
+                )))
+            }
+        };
+        let metrics = self.pipeline.metrics();
+        metrics.inc("checkpoint.rollbacks");
+        report.rolled_back = true;
+        ckpt.state
+            .degradations
+            .push(Degradation::CheckpointRolledBack { reason: detail });
+        Ok(ckpt)
+    }
+
+    /// Run the stages the checkpoint has not yet completed, each under
+    /// the retry/backoff/containment policy.
+    fn drive(
+        &self,
+        dataset: &Dataset,
+        mut ckpt: Checkpoint,
+        mut report: SupervisionReport,
+    ) -> Result<SupervisedRun, PipelineError> {
+        let metrics = self.pipeline.metrics().clone();
+        let run_span = metrics.span("pipeline");
+        for (idx, stage) in StageId::ALL.into_iter().enumerate() {
+            let is_last = idx + 1 == StageId::ALL.len();
+            if ckpt.completed.contains(&stage) {
+                continue;
+            }
+            let mut attempt: u32 = 0;
+            let mut stage_retries: u32 = 0;
+            let mut stage_ticks: u64 = 0;
+            loop {
+                let pipeline = self.pipeline.clone().with_attempt(attempt);
+                let span = run_span.child(stage.name());
+                let degradations_before = ckpt.state.degradations.len();
+                let quarantined_before = ckpt.state.quarantined.len();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    pipeline.run_stage(stage, dataset, &mut ckpt.state)
+                }));
+                let error = match outcome {
+                    Ok(Ok(())) => {
+                        let elapsed = span.finish();
+                        for d in &ckpt.state.degradations[degradations_before..] {
+                            metrics.inc(&format!("degradation.{}", d.slug()));
+                        }
+                        record_throughput(&metrics, stage, elapsed);
+                        break;
+                    }
+                    Ok(Err(e)) => e,
+                    Err(payload) => {
+                        metrics.inc("supervise.panics_contained");
+                        report.panics_contained += 1;
+                        PipelineError::StagePanicked {
+                            stage,
+                            detail: panic_text(payload),
+                        }
+                    }
+                };
+                span.finish();
+                // A failed attempt may have half-filled the state;
+                // roll its writes back so retries start clean.
+                reset_stage(
+                    stage,
+                    &mut ckpt.state,
+                    degradations_before,
+                    quarantined_before,
+                );
+                if !retryable(&error) || attempt + 1 >= self.policy.max_attempts {
+                    return Err(error);
+                }
+                let ticks = self.policy.backoff_ticks(stage, attempt);
+                metrics.inc("supervise.retries");
+                metrics.inc(&format!("supervise.retries.{stage}"));
+                metrics.add("supervise.backoff_ticks", ticks);
+                stage_retries += 1;
+                stage_ticks += ticks;
+                attempt += 1;
+            }
+            if stage_retries > 0 {
+                report.total_backoff_ticks += stage_ticks;
+                report.retries.push(StageRetries {
+                    stage,
+                    retries: stage_retries,
+                    backoff_ticks: stage_ticks,
+                });
+            }
+            ckpt.completed.push(stage);
+            self.flush_quarantine(&ckpt.state, &metrics, &mut report)?;
+            self.save(&ckpt, &metrics, &mut report)?;
+            metrics.gauge("checkpoint.generation", ckpt.completed.len() as f64);
+            if self.halt_after == Some(stage) && !is_last {
+                return Ok(SupervisedRun {
+                    outcome: RunnerOutcome::Halted { after: stage },
+                    report,
+                });
+            }
+        }
+        run_span.finish();
+        report.quarantined_items = ckpt.state.quarantined.len();
+        ckpt.state.into_output().map(|out| SupervisedRun {
+            outcome: RunnerOutcome::Complete(Box::new(out)),
+            report,
+        })
+    }
+
+    /// Persist the accumulated quarantine to the dead-letter file.
+    fn flush_quarantine(
+        &self,
+        state: &StageState,
+        metrics: &meme_metrics::Metrics,
+        report: &mut SupervisionReport,
+    ) -> Result<(), PipelineError> {
+        report.quarantined_items = state.quarantined.len();
+        metrics.gauge(
+            "supervise.quarantined_items",
+            state.quarantined.len() as f64,
+        );
+        let Some(path) = &self.quarantine_path else {
+            return Ok(());
+        };
+        if state.quarantined.is_empty() {
+            return Ok(());
+        }
+        write_quarantine(path, &state.quarantined)
+            .map_err(|e| PipelineError::QuarantineIo(e.to_string()))
+    }
+
+    /// Persist the checkpoint, retrying failures under the policy.
+    fn save(
+        &self,
+        ckpt: &Checkpoint,
+        metrics: &meme_metrics::Metrics,
+        report: &mut SupervisionReport,
+    ) -> Result<(), PipelineError> {
+        let Some(path) = &self.checkpoint_path else {
+            return Ok(());
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            match persist_checkpoint(&*self.medium, path, ckpt) {
+                Ok(()) => {
+                    metrics.inc("checkpoint.writes");
+                    report.checkpoint_writes += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt + 1 >= self.policy.save_attempts {
+                        return Err(e);
+                    }
+                    metrics.inc("checkpoint.write_retries");
+                    report.checkpoint_write_retries += 1;
+                    let ticks = self
+                        .policy
+                        .backoff_ticks(ckpt.next_stage().unwrap_or(StageId::Associate), attempt);
+                    metrics.add("supervise.backoff_ticks", ticks);
+                    report.total_backoff_ticks += ticks;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Undo a failed attempt's partial writes.
+///
+/// Each [`StageState`] field is filled by exactly one stage and the
+/// degradation/quarantine ledgers are append-only, so clearing the
+/// stage's own fields and truncating the ledgers to their pre-attempt
+/// lengths restores the state exactly — without the supervisor having
+/// to clone the (potentially large) accumulated state on every attempt.
+fn reset_stage(stage: StageId, state: &mut StageState, degradations: usize, quarantined: usize) {
+    state.degradations.truncate(degradations);
+    state.quarantined.truncate(quarantined);
+    match stage {
+        StageId::Hash => state.post_hashes = None,
+        StageId::Cluster => {
+            state.fringe_posts = None;
+            state.clustering = None;
+            state.medoid_hashes = None;
+            state.medoid_posts = None;
+        }
+        StageId::Site => {
+            state.site = None;
+            state.entry_meme_ids = None;
+            state.screenshot_metrics = None;
+        }
+        StageId::Annotate => state.annotations = None,
+        StageId::Associate => state.occurrences = None,
+    }
+}
+
+/// Whether the supervisor should retry after this error.
+fn retryable(e: &PipelineError) -> bool {
+    match e {
+        PipelineError::StagePanicked { .. } => true,
+        PipelineError::Stage { source, .. } => {
+            matches!(source, StageError::Transient { .. } | StageError::Io(_))
+        }
+        _ => false,
+    }
+}
+
+/// Render a panic payload (`&str` and `String` payloads carry the
+/// message; anything else is labelled opaquely).
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_exponentially_bounded() {
+        let policy = StagePolicy::default();
+        for stage in StageId::ALL {
+            for attempt in 0..6 {
+                let a = policy.backoff_ticks(stage, attempt);
+                let b = policy.backoff_ticks(stage, attempt);
+                assert_eq!(a, b, "backoff must be deterministic");
+                let scale = policy.base_backoff_ticks * (1 << attempt);
+                assert!(
+                    (scale..2 * scale).contains(&a),
+                    "attempt {attempt}: {a} outside [{scale}, {})",
+                    2 * scale
+                );
+            }
+        }
+        // Different stages see different jitter (the draws are keyed).
+        let hash0 = policy.backoff_ticks(StageId::Hash, 3);
+        let any_differs = StageId::ALL[1..]
+            .iter()
+            .any(|&s| policy.backoff_ticks(s, 3) != hash0);
+        assert!(any_differs, "jitter must be stage-keyed");
+    }
+
+    #[test]
+    fn zero_base_backoff_is_zero_ticks() {
+        let policy = StagePolicy {
+            base_backoff_ticks: 0,
+            ..StagePolicy::default()
+        };
+        assert_eq!(policy.backoff_ticks(StageId::Hash, 0), 0);
+        assert_eq!(policy.backoff_ticks(StageId::Hash, 5), 0);
+    }
+
+    #[test]
+    fn no_faults_is_inert() {
+        let f = NoFaults;
+        assert!(!f.enabled());
+        assert_eq!(f.stage_fault(StageId::Hash, 0), StageFault::Pass);
+        assert_eq!(f.item_fault(StageId::Associate, 7, 0), ItemFault::Pass);
+    }
+
+    #[test]
+    fn spec_faults_adapt_stage_names() {
+        let f = SpecFaults(ExecFaultSpec::persistent_panic(1, "cluster"));
+        assert!(f.enabled());
+        assert_eq!(f.stage_fault(StageId::Cluster, 4), StageFault::Panic);
+        assert_eq!(f.stage_fault(StageId::Hash, 0), StageFault::Pass);
+    }
+
+    #[test]
+    fn panic_text_renders_common_payloads() {
+        assert_eq!(panic_text(Box::new("boom")), "boom");
+        assert_eq!(panic_text(Box::new("boom".to_string())), "boom");
+        assert_eq!(panic_text(Box::new(17u32)), "non-string panic payload");
+    }
+
+    #[test]
+    fn retryable_covers_the_taxonomy() {
+        assert!(retryable(&PipelineError::StagePanicked {
+            stage: StageId::Hash,
+            detail: String::new(),
+        }));
+        assert!(retryable(&PipelineError::Stage {
+            stage: StageId::Hash,
+            cluster: None,
+            source: StageError::Transient {
+                detail: String::new(),
+            },
+        }));
+        assert!(retryable(&PipelineError::Stage {
+            stage: StageId::Site,
+            cluster: None,
+            source: StageError::Io(String::new()),
+        }));
+        assert!(!retryable(&PipelineError::EmptyDataset));
+        assert!(!retryable(&PipelineError::CheckpointCorrupt(String::new())));
+    }
+
+    #[test]
+    fn reset_stage_undoes_only_the_failed_stages_writes() {
+        let mut state = StageState {
+            post_hashes: Some(Vec::new()),
+            ..StageState::default()
+        };
+        let degradations = state.degradations.len();
+        let quarantined = state.quarantined.len();
+
+        // A half-finished Cluster attempt: partial fields plus a ledger
+        // entry that must not survive the rollback.
+        state.fringe_posts = Some(vec![1, 2]);
+        state.medoid_posts = Some(vec![1]);
+        state.degradations.push(Degradation::CheckpointRolledBack {
+            reason: "attempt residue".to_string(),
+        });
+        reset_stage(StageId::Cluster, &mut state, degradations, quarantined);
+
+        assert!(state.fringe_posts.is_none());
+        assert!(state.clustering.is_none());
+        assert!(state.medoid_hashes.is_none());
+        assert!(state.medoid_posts.is_none());
+        assert!(state.degradations.is_empty());
+        assert!(state.quarantined.is_empty());
+        assert!(
+            state.post_hashes.is_some(),
+            "completed earlier stages must be untouched"
+        );
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cascade;
 pub mod community;
 pub mod dataset;
+pub mod execfault;
 pub mod fault;
 pub mod kymgen;
 pub mod universe;
@@ -37,6 +38,10 @@ pub mod universe;
 pub use cascade::{generate_cascade, CascadeConfig, CascadeEvent};
 pub use community::{Community, CommunityProfile, ScreenshotPlatform, SUBREDDITS};
 pub use dataset::{Dataset, ImageRef, Post, PostTruth, SimConfig, SimScale, IMAGE_SIZE};
+pub use execfault::{
+    ExecFaultSpec, ExecItemFault, ExecStageFault, ExecWriteFault, ItemFaultRule, StageFaultRule,
+    WriteFaultRule,
+};
 pub use fault::{FaultReport, FaultSpec};
 pub use kymgen::{generate_kym, GalleryImage, KymGenConfig, RawKymEntry, RawKymSite};
 pub use universe::{MemeGroup, MemeSpec, Universe, UniverseConfig};

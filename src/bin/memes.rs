@@ -4,10 +4,15 @@
 //! memes simulate --scale small --seed 7 --out dataset.json
 //! memes run      --scale small --seed 7 --out run.json [--train-filter]
 //!                [--checkpoint ckpt.json] [--metrics-out BENCH_run.json]
+//!                [--retries N] [--quarantine q.jsonl] [--chaos PRESET]
 //! memes resume   --scale small --seed 7 --checkpoint ckpt.json [--out run.json]
-//!                [--metrics-out BENCH_run.json]
+//!                [--metrics-out BENCH_run.json] [--retries N]
+//!                [--quarantine q.jsonl] [--chaos PRESET]
 //! memes influence --scale small --seed 7
 //! memes graph    --scale small --seed 7 --out fig7.dot
+//! memes fsck     CKPT [--scale small --seed 7 --train-filter]
+//! memes quarantine ls FILE
+//! memes quarantine replay FILE --scale small --seed 7
 //! memes validate-metrics BENCH_run.json
 //! ```
 //!
@@ -16,7 +21,24 @@
 //! artifact for external tooling. `run --checkpoint` snapshots progress
 //! after every stage, and `resume` picks a killed run up from the last
 //! completed stage (the checkpoint is validated against the dataset and
-//! configuration before being honoured).
+//! configuration before being honoured; a torn or stale current
+//! generation automatically falls back to the previous one when it is
+//! intact).
+//!
+//! All runs execute under supervision (DESIGN.md §11): stages are
+//! retried with deterministic backoff (`--retries N`, default 2 retries
+//! after the first attempt), panics are contained into typed errors,
+//! and poison items are diverted to the `--quarantine` dead-letter file
+//! instead of sinking the run. `--chaos PRESET` injects execution
+//! faults for testing: `panic-once`, `stage-flake`, `flaky-items`,
+//! `poison-items`, `write-blackout`, or `torn-final`.
+//!
+//! `memes fsck CKPT` classifies a checkpoint file as clean, torn,
+//! stale, or (when `--scale`/`--seed` describe the expected run)
+//! mismatched — and reports the previous generation (`CKPT.prev`) when
+//! present. `memes quarantine ls FILE` lists a dead-letter file;
+//! `memes quarantine replay FILE` re-processes the quarantined items
+//! against a clean pipeline and reports which have recovered.
 //!
 //! `--metrics-out PATH` (on `run` and `resume`) attaches a metrics
 //! registry to the pipeline, additionally runs Step-7 influence
@@ -26,29 +48,45 @@
 //!
 //! Exit codes follow the workspace convention shared with `memes-lint`
 //! ([`Exit`]): `0` clean, `1` violations (the validated artifact failed
-//! its check), `2` operational failure (unreadable/unwritable files,
-//! bad usage, a pipeline run that did not complete).
+//! its check — an invalid metrics file, a defective checkpoint, a
+//! malformed quarantine file, a replay with still-failing items), `2`
+//! operational failure (unreadable/unwritable files, bad usage, a
+//! pipeline run that did not complete).
 
 use meme_analysis::Exit;
 use origins_of_memes::core::graph::{ClusterGraph, GraphConfig};
 use origins_of_memes::core::metric::ClusterDistance;
 use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
-use origins_of_memes::core::runner::{PipelineRunner, RunnerOutcome};
+use origins_of_memes::core::quarantine::{read_quarantine, summarize, QuarantineError};
+use origins_of_memes::core::runner::{
+    dataset_fingerprint, fsck_file, DiskMedium, FsckClass, RunnerOutcome, StageId,
+};
+use origins_of_memes::core::supervise::{
+    FaultyMedium, SpecFaults, StagePolicy, SupervisedRunner, SupervisionReport,
+};
 use origins_of_memes::hawkes::InfluenceEstimator;
 use origins_of_memes::metrics::{Metrics, Registry};
 use origins_of_memes::observability::validate_metrics_json;
-use origins_of_memes::simweb::{Community, SimConfig, SimScale};
+use origins_of_memes::phash::{ImageHasher, PerceptualHasher};
+use origins_of_memes::simweb::{Community, Dataset, ExecFaultSpec, SimConfig, SimScale};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 struct Args {
     command: String,
+    positionals: Vec<String>,
     scale: SimScale,
     seed: u64,
+    /// Whether --scale or --seed was passed explicitly (fsck only
+    /// verifies the dataset fingerprint when the caller described one).
+    explicit_dataset: bool,
     out: Option<String>,
     train_filter: bool,
     checkpoint: Option<String>,
     metrics_out: Option<String>,
+    retries: u32,
+    quarantine: Option<String>,
+    chaos: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,12 +94,17 @@ fn parse_args() -> Result<Args, String> {
     let command = argv.get(1).cloned().ok_or_else(usage)?;
     let mut args = Args {
         command,
+        positionals: Vec::new(),
         scale: SimScale::Small,
         seed: 1,
+        explicit_dataset: false,
         out: None,
         train_filter: false,
         checkpoint: None,
         metrics_out: None,
+        retries: 2,
+        quarantine: None,
+        chaos: None,
     };
     if args.command == "validate-metrics" {
         // Takes one positional FILE argument instead of flags; it is
@@ -84,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
                     Some("default") => SimScale::Default,
                     other => return Err(format!("unknown scale {other:?}")),
                 };
+                args.explicit_dataset = true;
             }
             "--seed" => {
                 i += 1;
@@ -91,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?;
+                args.explicit_dataset = true;
             }
             "--out" => {
                 i += 1;
@@ -104,13 +149,38 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 args.metrics_out = Some(argv.get(i).cloned().ok_or("--metrics-out needs a path")?);
             }
+            "--retries" => {
+                i += 1;
+                args.retries = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--retries needs an integer")?;
+            }
+            "--quarantine" => {
+                i += 1;
+                args.quarantine = Some(argv.get(i).cloned().ok_or("--quarantine needs a path")?);
+            }
+            "--chaos" => {
+                i += 1;
+                args.chaos = Some(argv.get(i).cloned().ok_or("--chaos needs a preset name")?);
+            }
             "--train-filter" => args.train_filter = true,
-            other => return Err(format!("unknown flag {other}")),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional => args.positionals.push(positional.to_string()),
         }
         i += 1;
     }
     if args.command == "resume" && args.checkpoint.is_none() {
         return Err("resume needs --checkpoint PATH".to_string());
+    }
+    if args.command == "fsck" && args.positionals.is_empty() {
+        return Err("fsck needs a CHECKPOINT argument".to_string());
+    }
+    if args.command == "quarantine" {
+        match args.positionals.first().map(String::as_str) {
+            Some("ls") | Some("replay") if args.positionals.len() == 2 => {}
+            _ => return Err("quarantine needs `ls FILE` or `replay FILE`".to_string()),
+        }
     }
     Ok(args)
 }
@@ -118,9 +188,239 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: memes <simulate|run|resume|influence|graph> \
      [--scale tiny|small|default] [--seed N] [--out PATH] \
-     [--checkpoint PATH] [--metrics-out PATH] [--train-filter]\n\
+     [--checkpoint PATH] [--metrics-out PATH] [--train-filter] \
+     [--retries N] [--quarantine PATH] [--chaos PRESET]\n\
+     \u{20}      memes fsck CHECKPOINT [--scale S --seed N --train-filter]\n\
+     \u{20}      memes quarantine <ls|replay> FILE [--scale S --seed N]\n\
      \u{20}      memes validate-metrics FILE"
         .to_string()
+}
+
+/// Resolve a `--chaos` preset name to an execution-fault schedule.
+fn chaos_spec(preset: &str, seed: u64) -> Result<ExecFaultSpec, String> {
+    match preset {
+        "panic-once" => Ok(ExecFaultSpec::panic_once_everywhere(seed)),
+        "stage-flake" => Ok(ExecFaultSpec::transient_stage(seed, "*", 1)),
+        "flaky-items" => Ok(ExecFaultSpec::flaky_items(seed, "hash", 0.05)),
+        "poison-items" => Ok(ExecFaultSpec::poison_items(seed, "hash", 0.03)),
+        "write-blackout" => Ok(ExecFaultSpec::write_blackout(seed, 2)),
+        // 5 stages → 5 checkpoint temp-file writes; tear the last one.
+        "torn-final" => Ok(ExecFaultSpec::torn_write(seed, 4, 0.5)),
+        other => Err(format!(
+            "unknown chaos preset `{other}` (try panic-once, stage-flake, flaky-items, \
+             poison-items, write-blackout, torn-final)"
+        )),
+    }
+}
+
+fn pipeline_config(args: &Args) -> PipelineConfig {
+    PipelineConfig {
+        screenshot_filter: if args.train_filter {
+            ScreenshotFilterMode::Train {
+                corpus_scale: 0.01,
+                config: Default::default(),
+            }
+        } else {
+            ScreenshotFilterMode::Oracle
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn generate_dataset(args: &Args) -> Dataset {
+    let dataset = SimConfig::new(args.scale, args.seed).generate();
+    eprintln!(
+        "dataset: {} image posts, {} memes (scale {:?}, seed {})",
+        dataset.posts.len(),
+        dataset.universe.len(),
+        args.scale,
+        args.seed
+    );
+    dataset
+}
+
+/// Narrate what supervision had to do (silent when it did nothing).
+fn print_supervision(report: &SupervisionReport) {
+    for r in &report.retries {
+        eprintln!(
+            "supervised: stage `{}` retried {}x ({} backoff ticks)",
+            r.stage, r.retries, r.backoff_ticks
+        );
+    }
+    if report.panics_contained > 0 {
+        eprintln!("supervised: {} panic(s) contained", report.panics_contained);
+    }
+    if report.checkpoint_write_retries > 0 {
+        eprintln!(
+            "supervised: {} checkpoint write(s) retried",
+            report.checkpoint_write_retries
+        );
+    }
+    if report.quarantined_items > 0 {
+        eprintln!(
+            "supervised: {} item(s) quarantined",
+            report.quarantined_items
+        );
+    }
+    if report.rolled_back {
+        eprintln!("supervised: resumed from previous checkpoint generation");
+    }
+}
+
+/// `memes fsck CKPT` — classify a checkpoint file (and its previous
+/// generation when present). Exit 0 clean, 1 defective, 2 unreadable.
+fn cmd_fsck(args: &Args) -> ExitCode {
+    let path = std::path::Path::new(&args.positionals[0]);
+    // Only verify dataset/config identity when the caller described the
+    // expected run; a bare `memes fsck ckpt` checks integrity alone.
+    let expectation = args.explicit_dataset.then(|| {
+        let dataset = generate_dataset(args);
+        (dataset_fingerprint(&dataset), pipeline_config(args))
+    });
+    let expect = expectation.as_ref().map(|(fp, cfg)| (*fp, cfg));
+    let report = match fsck_file(&DiskMedium, path, expect) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fsck: cannot read {}: {e}", path.display());
+            return Exit::Operational.into();
+        }
+    };
+    let stages: Vec<&str> = report.completed.iter().map(|s| s.name()).collect();
+    println!(
+        "{}: {} — {} (completed: {})",
+        path.display(),
+        report.class.name(),
+        report.detail,
+        if stages.is_empty() {
+            "none".to_string()
+        } else {
+            stages.join(", ")
+        }
+    );
+    let prev = origins_of_memes::core::runner::prev_checkpoint_path(path);
+    if prev.exists() {
+        match fsck_file(&DiskMedium, &prev, expect) {
+            Ok(p) => println!("{}: {} — {}", prev.display(), p.class.name(), p.detail),
+            Err(e) => println!("{}: unreadable ({e})", prev.display()),
+        }
+    }
+    if report.class == FsckClass::Clean {
+        Exit::Clean.into()
+    } else {
+        Exit::Violations.into()
+    }
+}
+
+/// `memes quarantine ls FILE` — list a dead-letter file with a
+/// per-stage summary. Exit 0 parsed, 1 malformed, 2 unreadable.
+fn cmd_quarantine_ls(path: &str) -> ExitCode {
+    let entries = match read_quarantine(std::path::Path::new(path)) {
+        Ok(entries) => entries,
+        Err(e @ QuarantineError::Io { .. }) => {
+            eprintln!("quarantine: {e}");
+            return Exit::Operational.into();
+        }
+        Err(e @ QuarantineError::Malformed { .. }) => {
+            eprintln!("quarantine: {e}");
+            return Exit::Violations.into();
+        }
+    };
+    for e in &entries {
+        println!("{} post {}: {}", e.stage, e.item, e.reason);
+    }
+    let summary: Vec<String> = summarize(&entries)
+        .into_iter()
+        .map(|(stage, n)| format!("{stage}: {n}"))
+        .collect();
+    eprintln!(
+        "{} quarantined item(s){}",
+        entries.len(),
+        if summary.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", summary.join(", "))
+        }
+    );
+    Exit::Clean.into()
+}
+
+/// `memes quarantine replay FILE` — re-process quarantined items
+/// against a clean (fault-free) pipeline. Hash-stage items are
+/// re-hashed directly; associate-stage items are resolved through a
+/// clean end-to-end run. Exit 0 when every item recovered, 1 when any
+/// still fails, 2 on operational errors.
+fn cmd_quarantine_replay(args: &Args, path: &str) -> ExitCode {
+    let entries = match read_quarantine(std::path::Path::new(path)) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("quarantine: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("quarantine: {path} is empty — nothing to replay");
+        return Exit::Clean.into();
+    }
+    let dataset = generate_dataset(args);
+    let mut still_failing = 0usize;
+    let hasher = PerceptualHasher::new();
+    // The associate stage needs full pipeline context; run it once,
+    // clean, and resolve every associate-stage entry against it.
+    let needs_full_run = entries.iter().any(|e| e.stage != StageId::Hash);
+    let clean_output = if needs_full_run {
+        match Pipeline::new(pipeline_config(args)).run(&dataset) {
+            Ok(output) => Some(output),
+            Err(e) => {
+                eprintln!("replay: clean pipeline run failed: {e}");
+                return Exit::Operational.into();
+            }
+        }
+    } else {
+        None
+    };
+    for e in &entries {
+        if e.item >= dataset.posts.len() {
+            println!(
+                "{} post {}: STILL FAILING (post index out of range for this dataset)",
+                e.stage, e.item
+            );
+            still_failing += 1;
+            continue;
+        }
+        match e.stage {
+            StageId::Hash => {
+                let hash = hasher.hash(&dataset.render_post_image(&dataset.posts[e.item]));
+                println!(
+                    "{} post {}: recovered (rehashed to {hash})",
+                    e.stage, e.item
+                );
+            }
+            _ => {
+                let output = clean_output.as_ref().expect("full run for non-hash stages");
+                let assoc = output.occurrences.get(e.item).and_then(|o| *o);
+                match assoc {
+                    Some(cluster) => println!(
+                        "{} post {}: recovered (associates to cluster {cluster})",
+                        e.stage, e.item
+                    ),
+                    None => println!(
+                        "{} post {}: recovered (processed clean; no cluster association)",
+                        e.stage, e.item
+                    ),
+                }
+            }
+        }
+    }
+    if still_failing > 0 {
+        eprintln!(
+            "replay: {still_failing}/{} item(s) still failing",
+            entries.len()
+        );
+        Exit::Violations.into()
+    } else {
+        eprintln!("replay: all {} item(s) recovered", entries.len());
+        Exit::Clean.into()
+    }
 }
 
 fn main() -> ExitCode {
@@ -157,6 +457,16 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.command == "fsck" {
+        return cmd_fsck(&args);
+    }
+    if args.command == "quarantine" {
+        let file = args.positionals[1].clone();
+        return match args.positionals[0].as_str() {
+            "ls" => cmd_quarantine_ls(&file),
+            _ => cmd_quarantine_replay(&args, &file),
+        };
+    }
     if !matches!(
         args.command.as_str(),
         "simulate" | "run" | "resume" | "influence" | "graph"
@@ -165,14 +475,7 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return Exit::Operational.into();
     }
-    let dataset = SimConfig::new(args.scale, args.seed).generate();
-    eprintln!(
-        "dataset: {} image posts, {} memes (scale {:?}, seed {})",
-        dataset.posts.len(),
-        dataset.universe.len(),
-        args.scale,
-        args.seed
-    );
+    let dataset = generate_dataset(&args);
 
     match args.command.as_str() {
         "simulate" => {
@@ -189,17 +492,7 @@ fn main() -> ExitCode {
             Exit::Clean.into()
         }
         cmd @ ("run" | "resume" | "influence" | "graph") => {
-            let config = PipelineConfig {
-                screenshot_filter: if args.train_filter {
-                    ScreenshotFilterMode::Train {
-                        corpus_scale: 0.01,
-                        config: Default::default(),
-                    }
-                } else {
-                    ScreenshotFilterMode::Oracle
-                },
-                ..PipelineConfig::default()
-            };
+            let config = pipeline_config(&args);
             let registry = args
                 .metrics_out
                 .as_ref()
@@ -208,10 +501,33 @@ fn main() -> ExitCode {
                 Some(r) => Metrics::from_registry(Arc::clone(r)),
                 None => Metrics::disabled(),
             };
-            let mut runner =
-                PipelineRunner::new(Pipeline::new(config)).with_metrics(metrics.clone());
+            let policy = StagePolicy {
+                max_attempts: args.retries + 1,
+                save_attempts: args.retries + 1,
+                seed: args.seed,
+                ..StagePolicy::default()
+            };
+            let mut runner = SupervisedRunner::new(Pipeline::new(config))
+                .with_metrics(metrics.clone())
+                .with_policy(policy);
             if let Some(path) = &args.checkpoint {
                 runner = runner.with_checkpoint(path);
+            }
+            if let Some(path) = &args.quarantine {
+                runner = runner.with_quarantine(path);
+            }
+            if let Some(preset) = &args.chaos {
+                let spec = match chaos_spec(preset, args.seed) {
+                    Ok(spec) => spec,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return Exit::Operational.into();
+                    }
+                };
+                eprintln!("chaos: injecting preset `{preset}` (seed {})", args.seed);
+                runner = runner
+                    .with_medium(Arc::new(FaultyMedium::new(spec.clone())))
+                    .with_exec_faults(Arc::new(SpecFaults(spec)));
             }
             let result = if cmd == "resume" {
                 runner.resume(&dataset)
@@ -219,10 +535,15 @@ fn main() -> ExitCode {
                 runner.run(&dataset)
             };
             let output = match result {
-                Ok(RunnerOutcome::Complete(o)) => *o,
-                Ok(RunnerOutcome::Halted { after }) => {
-                    eprintln!("pipeline halted after stage `{after}`");
-                    return Exit::Operational.into();
+                Ok(run) => {
+                    print_supervision(&run.report);
+                    match run.outcome {
+                        RunnerOutcome::Complete(o) => *o,
+                        RunnerOutcome::Halted { after } => {
+                            eprintln!("pipeline halted after stage `{after}`");
+                            return Exit::Operational.into();
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("pipeline failed: {e}");

@@ -1,0 +1,342 @@
+//! Execution-fault chaos suite (DESIGN.md §11).
+//!
+//! The data-fault suite (`tests/chaos.rs`) corrupts the *corpus*; this
+//! suite corrupts the *execution*: stages panic, stages and items fail
+//! transiently, items are poison, checkpoint writes fail or tear. The
+//! supervised runner must hold one line for every injection:
+//!
+//! * retryable faults retry to success, and the recovered output is
+//!   **byte-identical** to an uninterrupted clean run;
+//! * poison items are quarantined with typed reasons, recorded as a
+//!   degradation, and deterministic across identical runs;
+//! * persistent faults surface as **typed errors** — never a panic,
+//!   never an abort, never silent corruption;
+//! * a torn final checkpoint rolls back to the previous generation on
+//!   resume and still converges to the clean output.
+
+use origins_of_memes::core::pipeline::{
+    Degradation, Pipeline, PipelineConfig, PipelineError, PipelineOutput,
+};
+use origins_of_memes::core::quarantine::{read_quarantine, QuarantineReason};
+use origins_of_memes::core::runner::{prev_checkpoint_path, StageId};
+use origins_of_memes::core::supervise::{FaultyMedium, SpecFaults, StagePolicy, SupervisedRunner};
+use origins_of_memes::simweb::{Dataset, ExecFaultSpec, SimConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEED: u64 = 31;
+
+fn dataset() -> Dataset {
+    SimConfig::tiny(SEED).generate()
+}
+
+fn supervised(faults: ExecFaultSpec) -> SupervisedRunner {
+    SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_exec_faults(Arc::new(SpecFaults(faults)))
+}
+
+/// The reference output of an unsupervised, fault-free run.
+fn clean_output(dataset: &Dataset) -> PipelineOutput {
+    Pipeline::new(PipelineConfig::fast())
+        .run(dataset)
+        .expect("clean pipeline completes")
+}
+
+/// Byte-level equality modulo the degradation ledger (rollback and
+/// quarantine are *supposed* to appear there).
+fn json_sans_degradations(output: &PipelineOutput) -> String {
+    let mut stripped = output.clone();
+    stripped.degradations.clear();
+    stripped.to_json()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("memes-chaos-exec-{}-{name}", std::process::id()));
+    p
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(prev_checkpoint_path(path));
+}
+
+#[test]
+fn transient_stage_faults_retry_to_byte_identical_output() {
+    let data = dataset();
+    let run = supervised(ExecFaultSpec::transient_stage(SEED, "*", 2))
+        .run(&data)
+        .expect("two transient failures fit a 3-attempt budget");
+    assert_eq!(run.report.total_retries(), 2 * StageId::ALL.len() as u32);
+    assert_eq!(run.report.panics_contained, 0);
+    assert!(
+        run.report.total_backoff_ticks > 0,
+        "retries must account logical backoff"
+    );
+    let out = run.expect_complete();
+    assert_eq!(
+        out.to_json(),
+        clean_output(&data).to_json(),
+        "retried output must be byte-identical to a clean run"
+    );
+}
+
+#[test]
+fn panics_are_contained_and_retried_in_every_stage() {
+    let data = dataset();
+    let run = supervised(ExecFaultSpec::panic_once_everywhere(SEED))
+        .run(&data)
+        .expect("one panic per stage fits the retry budget");
+    assert_eq!(
+        run.report.panics_contained,
+        StageId::ALL.len() as u32,
+        "every stage should have panicked exactly once"
+    );
+    let out = run.expect_complete();
+    assert_eq!(
+        out.to_json(),
+        clean_output(&data).to_json(),
+        "post-panic retry must converge to the clean output"
+    );
+}
+
+#[test]
+fn persistent_panic_is_a_typed_error_never_an_abort() {
+    let data = dataset();
+    let err = supervised(ExecFaultSpec::persistent_panic(SEED, "cluster"))
+        .run(&data)
+        .expect_err("a panic on every attempt must exhaust the budget");
+    match err {
+        PipelineError::StagePanicked { stage, detail } => {
+            assert_eq!(stage, StageId::Cluster);
+            assert!(
+                detail.contains("injected"),
+                "panic payload should be preserved: {detail}"
+            );
+        }
+        other => panic!("expected StagePanicked, got: {other}"),
+    }
+}
+
+#[test]
+fn exhausted_transient_stage_is_a_typed_error() {
+    let data = dataset();
+    let err = supervised(ExecFaultSpec::transient_stage(SEED, "hash", 99))
+        .with_policy(StagePolicy {
+            max_attempts: 2,
+            ..StagePolicy::default()
+        })
+        .run(&data)
+        .expect_err("99 failures cannot fit a 2-attempt budget");
+    assert!(
+        matches!(
+            err,
+            PipelineError::Stage {
+                stage: StageId::Hash,
+                ..
+            }
+        ),
+        "expected a typed stage error, got: {err}"
+    );
+}
+
+#[test]
+fn flaky_items_are_retried_to_byte_identical_output() {
+    let data = dataset();
+    let run = supervised(ExecFaultSpec::flaky_items(SEED, "hash", 0.1))
+        .run(&data)
+        .expect("single-attempt item flake fits the budget");
+    assert!(
+        run.report.total_retries() >= 1,
+        "flaky items must force at least one stage retry"
+    );
+    assert_eq!(run.report.quarantined_items, 0);
+    let out = run.expect_complete();
+    assert_eq!(
+        out.to_json(),
+        clean_output(&data).to_json(),
+        "items that recover on retry must leave no trace in the output"
+    );
+}
+
+#[test]
+fn poison_items_are_quarantined_with_typed_reasons() {
+    let data = dataset();
+    let qpath = tmp_path("poison.jsonl");
+    let run = supervised(ExecFaultSpec::poison_items(SEED, "hash", 0.05))
+        .with_quarantine(&qpath)
+        .run(&data)
+        .expect("poison items must not sink the run");
+    assert!(
+        run.report.quarantined_items > 0,
+        "a 5% poison fraction on a tiny corpus must hit something"
+    );
+
+    let entries = read_quarantine(&qpath).expect("quarantine file parses");
+    assert_eq!(entries.len(), run.report.quarantined_items);
+    for e in &entries {
+        assert_eq!(e.stage, StageId::Hash);
+        assert!(e.item < data.posts.len(), "entry must index a real post");
+        let QuarantineReason::PoisonItem { attempts, .. } = &e.reason;
+        assert!(*attempts >= 1);
+    }
+
+    let out = run.expect_complete();
+    assert!(
+        out.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::ItemsQuarantined { stage: StageId::Hash, items } if *items == entries.len())),
+        "quarantine must be recorded as a degradation: {:?}",
+        out.degradations
+    );
+    cleanup(&qpath);
+}
+
+#[test]
+fn poison_quarantine_is_deterministic_across_runs() {
+    let data = dataset();
+    let spec = ExecFaultSpec::poison_items(SEED, "associate", 0.05);
+    let a = supervised(spec.clone()).run(&data).expect("first run");
+    let b = supervised(spec).run(&data).expect("second run");
+    assert_eq!(a.report.quarantined_items, b.report.quarantined_items);
+    let (a, b) = (a.expect_complete(), b.expect_complete());
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "identical fault schedules must produce identical outputs"
+    );
+    assert!(a.degradations.iter().any(|d| matches!(
+        d,
+        Degradation::ItemsQuarantined {
+            stage: StageId::Associate,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn checkpoint_write_blackout_is_retried_through() {
+    let data = dataset();
+    let ckpt = tmp_path("blackout.ckpt");
+    cleanup(&ckpt);
+    let spec = ExecFaultSpec::write_blackout(SEED, 2);
+    let run = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .with_medium(Arc::new(FaultyMedium::new(spec)))
+        .run(&data)
+        .expect("two failed writes fit a 3-attempt save budget");
+    assert_eq!(run.report.checkpoint_write_retries, 2);
+    assert_eq!(run.report.checkpoint_writes, StageId::ALL.len() as u32);
+    let out = run.expect_complete();
+    assert_eq!(out.to_json(), clean_output(&data).to_json());
+    cleanup(&ckpt);
+}
+
+#[test]
+fn persistent_write_blackout_is_a_typed_error() {
+    let data = dataset();
+    let ckpt = tmp_path("blackout-persistent.ckpt");
+    cleanup(&ckpt);
+    let spec = ExecFaultSpec::write_blackout(SEED, usize::MAX);
+    let err = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .with_medium(Arc::new(FaultyMedium::new(spec)))
+        .run(&data)
+        .expect_err("a medium that never writes must fail typed");
+    assert!(
+        matches!(err, PipelineError::CheckpointIo(_)),
+        "expected CheckpointIo, got: {err}"
+    );
+    cleanup(&ckpt);
+}
+
+#[test]
+fn torn_final_write_rolls_back_and_resumes_byte_identical() {
+    let data = dataset();
+    let ckpt = tmp_path("torn-final.ckpt");
+    cleanup(&ckpt);
+    // One checkpoint temp-write per stage; tear the last (index 4). The
+    // torn write *reports success* (the lying-fsync crash), so the run
+    // itself completes — the damage is only discovered on resume.
+    let spec = ExecFaultSpec::torn_write(SEED, StageId::ALL.len() - 1, 0.5);
+    let first = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .with_medium(Arc::new(FaultyMedium::new(spec)))
+        .run(&data)
+        .expect("a torn write is silent at write time");
+    let clean = clean_output(&data);
+    assert_eq!(first.expect_complete().to_json(), clean.to_json());
+    assert!(
+        prev_checkpoint_path(&ckpt).exists(),
+        "the previous generation must survive the torn final write"
+    );
+
+    // Resume on a healthy disk: the torn current generation must roll
+    // back to `.prev` (4 of 5 stages), re-run the rest, and converge.
+    let resumed = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .resume(&data)
+        .expect("rollback must rescue the torn checkpoint");
+    assert!(resumed.report.rolled_back, "rollback must be reported");
+    let out = resumed.expect_complete();
+    assert!(
+        out.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::CheckpointRolledBack { .. })),
+        "rollback must be recorded as a degradation: {:?}",
+        out.degradations
+    );
+    assert_eq!(
+        json_sans_degradations(&out),
+        json_sans_degradations(&clean),
+        "the rolled-back resume must converge to the clean output"
+    );
+    cleanup(&ckpt);
+}
+
+#[test]
+fn torn_checkpoint_without_previous_generation_is_typed_corrupt() {
+    let data = dataset();
+    let ckpt = tmp_path("torn-no-prev.ckpt");
+    cleanup(&ckpt);
+    let complete = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .run(&data)
+        .expect("clean supervised run");
+    drop(complete);
+    // Tear the only generation by hand and remove the rollback target.
+    let bytes = std::fs::read(&ckpt).expect("checkpoint written");
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 3]).expect("truncate");
+    let _ = std::fs::remove_file(prev_checkpoint_path(&ckpt));
+
+    let err = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .with_checkpoint(&ckpt)
+        .resume(&data)
+        .expect_err("no generation left to roll back to");
+    match err {
+        PipelineError::CheckpointCorrupt(detail) => {
+            assert!(detail.contains("torn"), "must classify torn: {detail}");
+            assert!(
+                detail.contains("no previous generation"),
+                "must explain the failed rollback: {detail}"
+            );
+        }
+        other => panic!("expected CheckpointCorrupt, got: {other}"),
+    }
+    cleanup(&ckpt);
+}
+
+#[test]
+fn supervised_clean_run_matches_bare_pipeline_exactly() {
+    let data = dataset();
+    let run = SupervisedRunner::new(Pipeline::new(PipelineConfig::fast()))
+        .run(&data)
+        .expect("supervision of a healthy run is invisible");
+    assert_eq!(run.report.total_retries(), 0);
+    assert_eq!(run.report.panics_contained, 0);
+    assert_eq!(run.report.quarantined_items, 0);
+    assert_eq!(
+        run.expect_complete().to_json(),
+        clean_output(&data).to_json()
+    );
+}

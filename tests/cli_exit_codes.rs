@@ -76,4 +76,87 @@ fn bad_usage_exits_two() {
         2,
         "unknown flag"
     );
+    assert_eq!(exit_code(&memes(&["fsck"])), 2, "fsck without CKPT");
+    assert_eq!(
+        exit_code(&memes(&["quarantine"])),
+        2,
+        "quarantine without subaction"
+    );
+    assert_eq!(
+        exit_code(&memes(&["quarantine", "frobnicate", "x.jsonl"])),
+        2,
+        "unknown quarantine subaction"
+    );
+    assert_eq!(
+        exit_code(&memes(&["run", "--chaos", "no-such-preset"])),
+        2,
+        "unknown chaos preset"
+    );
+}
+
+#[test]
+fn fsck_missing_file_exits_two_and_garbage_exits_one() {
+    let missing = std::env::temp_dir().join(format!(
+        "memes-cli-fsck-missing-{}.ckpt",
+        std::process::id()
+    ));
+    assert_eq!(exit_code(&memes(&["fsck", missing.to_str().unwrap()])), 2);
+
+    let garbage = tmp_file("fsck-garbage", "this is not a checkpoint");
+    let out = memes(&["fsck", garbage.to_str().unwrap()]);
+    let _ = fs::remove_file(&garbage);
+    assert_eq!(
+        exit_code(&out),
+        1,
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("torn"),
+        "garbage must be classified torn: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn quarantine_ls_follows_the_convention() {
+    let missing = std::env::temp_dir().join(format!(
+        "memes-cli-quarantine-missing-{}.jsonl",
+        std::process::id()
+    ));
+    assert_eq!(
+        exit_code(&memes(&["quarantine", "ls", missing.to_str().unwrap()])),
+        2,
+        "unreadable file is operational"
+    );
+
+    let malformed = tmp_file("quarantine-bad", "{ not json\n");
+    let out = memes(&["quarantine", "ls", malformed.to_str().unwrap()]);
+    let _ = fs::remove_file(&malformed);
+    assert_eq!(exit_code(&out), 1, "malformed file is a violation");
+
+    let entry = origins_of_memes::core::quarantine::QuarantineEntry {
+        stage: origins_of_memes::core::runner::StageId::Hash,
+        item: 3,
+        reason: origins_of_memes::core::quarantine::QuarantineReason::PoisonItem {
+            attempts: 2,
+            detail: "cli test".to_string(),
+        },
+    };
+    let valid = tmp_file(
+        "quarantine-ok",
+        &origins_of_memes::core::quarantine::encode_jsonl(&[entry]),
+    );
+    let out = memes(&["quarantine", "ls", valid.to_str().unwrap()]);
+    let _ = fs::remove_file(&valid);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("poison item"),
+        "listing must render the typed reason"
+    );
 }

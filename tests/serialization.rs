@@ -48,7 +48,10 @@ fn corrupt_json_is_rejected() {
 
 #[test]
 fn checkpoints_roundtrip_preserving_stage_equality() {
-    use origins_of_memes::core::runner::{Checkpoint, PipelineRunner, RunnerOutcome, StageId};
+    use origins_of_memes::core::runner::{
+        decode_checkpoint, encode_checkpoint, prev_checkpoint_path, PipelineRunner, RunnerOutcome,
+        StageId,
+    };
     let dataset = SimConfig::tiny(5).generate();
     let pipeline = Pipeline::new(PipelineConfig::fast());
     let mut path = std::env::temp_dir();
@@ -57,6 +60,7 @@ fn checkpoints_roundtrip_preserving_stage_equality() {
         std::process::id()
     ));
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_checkpoint_path(&path));
     let outcome = PipelineRunner::new(pipeline.clone())
         .with_checkpoint(&path)
         .halt_after(StageId::Cluster)
@@ -69,21 +73,24 @@ fn checkpoints_roundtrip_preserving_stage_equality() {
         }
     ));
 
-    let saved = std::fs::read_to_string(&path).expect("checkpoint written");
-    let ckpt = Checkpoint::from_json(&saved).expect("checkpoint decodes");
+    // On-disk checkpoints carry the integrity envelope (DESIGN.md §11);
+    // decode_checkpoint verifies it before handing back the payload.
+    let saved = std::fs::read(&path).expect("checkpoint written");
+    let ckpt = decode_checkpoint(&saved).expect("checkpoint decodes");
     assert_eq!(ckpt.completed, vec![StageId::Hash, StageId::Cluster]);
     assert_eq!(ckpt.next_stage(), Some(StageId::Site));
     assert!(!ckpt.is_complete());
 
-    // Re-serializing is a fixed point: stage list and state identical.
-    let back = Checkpoint::from_json(&ckpt.to_json()).expect("roundtrip decodes");
+    // Re-encoding is a fixed point: envelope and payload identical.
+    let back = decode_checkpoint(&encode_checkpoint(&ckpt)).expect("roundtrip decodes");
     assert_eq!(back.completed, ckpt.completed);
     assert_eq!(back.dataset_fingerprint, ckpt.dataset_fingerprint);
-    assert_eq!(back.to_json(), ckpt.to_json());
+    assert_eq!(encode_checkpoint(&back), encode_checkpoint(&ckpt));
 
     // The partial state already carries the cluster stage's outputs.
     assert!(ckpt.state.post_hashes.is_some());
     assert!(ckpt.state.clustering.is_some());
     assert!(ckpt.state.site.is_none());
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(prev_checkpoint_path(&path));
 }
