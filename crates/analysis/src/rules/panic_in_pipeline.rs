@@ -18,7 +18,7 @@ use crate::lexer::TokenKind;
 use crate::source::{FileClass, SourceFile};
 
 /// Crates whose lib code must stay panic-free.
-const SCOPED_CRATES: [&str; 4] = ["core", "index", "annotate", "cluster"];
+const SCOPED_CRATES: [&str; 5] = ["core", "index", "annotate", "cluster", "serve"];
 
 /// Panicking macros.
 const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -169,6 +169,30 @@ mod tests {
             "crates/core/src/supervise.rs",
             "fn f() { ckpt.unwrap(); }\n",
         );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn serving_layer_files_are_in_scope() {
+        // The serving layer (DESIGN.md §12) answers queries from live
+        // traffic; a panic in a worker poisons the queue locks and
+        // stalls every connection, so its lib code is held to the same
+        // panic-free contract as the pipeline stages.
+        for path in [
+            "crates/serve/src/snapshot.rs",
+            "crates/serve/src/store.rs",
+            "crates/serve/src/batch.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/protocol.rs",
+            "crates/serve/src/artifact.rs",
+        ] {
+            let file = SourceFile::new(path, "");
+            assert!(
+                PanicInPipeline.applies(&file),
+                "{path} must be scanned by panic-in-pipeline"
+            );
+        }
+        let f = check("crates/serve/src/server.rs", "fn f() { job.unwrap(); }\n");
         assert_eq!(f.len(), 1);
     }
 }

@@ -133,8 +133,18 @@ impl KymSite {
     }
 
     /// Entry by id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range; [`KymSite::get`] returns
+    /// `None` instead.
     pub fn entry(&self, id: usize) -> &KymEntry {
         &self.entries[id]
+    }
+
+    /// Entry by id, or `None` when `id` is out of range — entry ids a
+    /// crawl never produces but a corrupt checkpoint can carry.
+    pub fn get(&self, id: usize) -> Option<&KymEntry> {
+        self.entries.get(id)
     }
 
     /// Total gallery images across entries (Table 1's KYM row).

@@ -39,15 +39,17 @@ const EPS: u32 = 8;
 /// DBSCAN's minPts (paper: 5).
 const MIN_PTS: usize = 5;
 
-/// Wrap a registry export in the `BENCH_*.json` provenance envelope.
-fn wrap(bench: &str, scale: &str, seed: u64, metrics_json: &str) -> String {
+/// Wrap a registry export in the `BENCH_*.json` provenance envelope
+/// (the wrapper form `memes validate-metrics` accepts).
+pub fn wrap(bench: &str, scale: &str, seed: u64, metrics_json: &str) -> String {
     format!(
         "{{\n  \"bench\": \"{bench}\",\n  \"scale\": \"{scale}\",\n  \
          \"seed\": {seed},\n  \"metrics\": {metrics_json}\n}}\n"
     )
 }
 
-fn scale_label(scale: SimScale) -> &'static str {
+/// The `--scale` spelling of a [`SimScale`], for provenance envelopes.
+pub fn scale_label(scale: SimScale) -> &'static str {
     match scale {
         SimScale::Tiny => "tiny",
         SimScale::Small => "small",

@@ -1,0 +1,272 @@
+//! `serve-load` — closed-loop load generator for the serving layer,
+//! producing the committed `BENCH_serve.json` baseline.
+//!
+//! ```text
+//! serve-load [--scale tiny|small|default] [--seed N] [--clients C]
+//!            [--requests N] [--workers W] [--no-swap] [--out PATH]
+//! ```
+//!
+//! Runs the pipeline in process at `--scale`/`--seed`, computes Step-7
+//! influence so hits carry full payloads, starts a [`Server`] on a free
+//! loopback port, and drives it with `C` closed-loop TCP clients (one
+//! in-flight request each, so micro-batches form across connections).
+//! The query mix is seeded and deterministic: medoid hashes perturbed
+//! by 0–12 random bit flips, spanning exact hits, near matches, and
+//! misses. Unless `--no-swap` is given, the store hot-swaps a freshly
+//! built snapshot mid-run, so the baseline covers swap traffic too.
+//!
+//! Client-side per-request latency lands in the `serve.latency_p50_us`
+//! / `serve.latency_p99_us` / `serve.throughput_qps` gauges next to the
+//! server's own `serve.*` metrics (admission-latency histogram, batch
+//! sizes, hit/miss counters), and the whole registry is exported in the
+//! `BENCH_*.json` wrapper form, so the output passes
+//! `memes validate-metrics` and CI can archive it as a trend baseline.
+
+use meme_bench::baseline::{scale_label, wrap};
+use meme_core::pipeline::{Pipeline, PipelineConfig};
+use meme_hawkes::InfluenceEstimator;
+use meme_metrics::{Metrics, Registry};
+use meme_phash::PHash;
+use meme_serve::{Server, ServerConfig, Snapshot, SnapshotStore, DEFAULT_THETA};
+use meme_simweb::{Community, SimConfig, SimScale};
+use meme_stats::seeded_rng;
+use rand::RngExt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    scale: SimScale,
+    seed: u64,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    swap: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut opts = Options {
+        scale: SimScale::Tiny,
+        seed: 7,
+        clients: 4,
+        requests: 2_000,
+        workers: 2,
+        swap: true,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match argv.get(i).map(String::as_str) {
+                    Some("tiny") => SimScale::Tiny,
+                    Some("small") => SimScale::Small,
+                    Some("default") => SimScale::Default,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--clients" => {
+                i += 1;
+                opts.clients = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--clients needs a positive integer")?;
+            }
+            "--requests" => {
+                i += 1;
+                opts.requests = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--requests needs a positive integer")?;
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?;
+            }
+            "--no-swap" => opts.swap = false,
+            "--out" => {
+                i += 1;
+                opts.out = argv.get(i).cloned().ok_or("--out needs a path")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// The seeded per-client query schedule: each request perturbs a random
+/// medoid by 0–12 bit flips, so ~2/3 land within θ = 8.
+fn query_schedule(medoids: &[PHash], seed: u64, requests: usize) -> Vec<PHash> {
+    let mut rng = seeded_rng(seed);
+    (0..requests)
+        .map(|_| {
+            let mut bits = medoids[rng.random_range(0..medoids.len())].0;
+            for _ in 0..rng.random_range(0..13usize) {
+                bits ^= 1u64 << rng.random_range(0..64u32);
+            }
+            PHash(bits)
+        })
+        .collect()
+}
+
+/// Sorted-latency percentile (nearest-rank on the sorted slice).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "[serve-load] pipeline (scale {:?}, seed {})...",
+        opts.scale, opts.seed
+    );
+    let dataset = SimConfig::new(opts.scale, opts.seed).generate();
+    let output = Pipeline::new(PipelineConfig::default())
+        .run(&dataset)
+        .expect("pipeline runs on generated data");
+    let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+    let (influence, skipped) = output.estimate_influence_robust(&dataset, &estimator, 0);
+    if !skipped.is_empty() {
+        eprintln!(
+            "[serve-load] influence: {} cluster(s) skipped",
+            skipped.len()
+        );
+    }
+
+    let registry = Arc::new(Registry::new());
+    let metrics = Metrics::from_registry(Arc::clone(&registry));
+    let snapshot = Snapshot::build(&output, Some(&influence), DEFAULT_THETA, 0)
+        .expect("fresh artifact builds a snapshot");
+    let medoids: Vec<PHash> = snapshot.records().iter().map(|r| r.medoid).collect();
+    if medoids.is_empty() {
+        eprintln!("[serve-load] run has no annotated clusters — nothing to serve");
+        return ExitCode::FAILURE;
+    }
+    let store = Arc::new(SnapshotStore::new(snapshot));
+    let server = Server::start(
+        Arc::clone(&store),
+        ServerConfig {
+            workers: opts.workers,
+            ..ServerConfig::default()
+        },
+        metrics.clone(),
+    )
+    .expect("bind a free loopback port");
+    let addr = server.local_addr();
+    eprintln!(
+        "[serve-load] {} meme(s) on {addr}; {} client(s) x {} request(s), workers {}",
+        store.load().len(),
+        opts.clients,
+        opts.requests,
+        opts.workers
+    );
+
+    // Closed loop: each client owns one connection and keeps exactly
+    // one request in flight, timing each round trip.
+    let started = Instant::now();
+    let mut latencies_us: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|c| {
+                let schedule = query_schedule(&medoids, opts.seed ^ (c as u64 + 1), opts.requests);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to own server");
+                    stream.set_nodelay(true).expect("disable Nagle");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    let mut lat = Vec::with_capacity(schedule.len());
+                    for q in schedule {
+                        let t0 = Instant::now();
+                        writeln!(writer, "{{\"hash\":\"{q}\"}}").expect("send request");
+                        line.clear();
+                        reader.read_line(&mut line).expect("read response");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert!(
+                            line.starts_with("{\"found\""),
+                            "unexpected response: {line}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        if opts.swap {
+            // Swap a freshly built snapshot in mid-run; clients must
+            // not notice beyond the generation counter.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let next = Snapshot::build(&output, Some(&influence), DEFAULT_THETA, 0)
+                .expect("rebuild snapshot for swap");
+            store.swap(next);
+            metrics.gauge("serve.snapshot_generation", store.generation() as f64);
+            eprintln!(
+                "[serve-load] hot-swapped to generation {}",
+                store.generation()
+            );
+        }
+
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = latencies_us.len();
+    let p50 = percentile(&latencies_us, 0.50);
+    let p99 = percentile(&latencies_us, 0.99);
+    let qps = total as f64 / wall;
+    metrics.gauge("serve.latency_p50_us", p50);
+    metrics.gauge("serve.latency_p99_us", p99);
+    metrics.gauge("serve.throughput_qps", qps);
+    metrics.gauge("serve.clients", opts.clients as f64);
+    metrics.gauge("serve.wall_secs", wall);
+    eprintln!(
+        "[serve-load] {total} request(s) in {wall:.2}s: p50 {p50:.0}us, p99 {p99:.0}us, {qps:.0} qps"
+    );
+
+    let doc = wrap(
+        "serve",
+        scale_label(opts.scale),
+        opts.seed,
+        &registry.to_json(),
+    );
+    if let Err(e) = std::fs::write(&opts.out, doc) {
+        eprintln!("serve-load: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[serve-load] wrote {}", opts.out);
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,7 @@
 //! and keeps this code independent of the index engine.
 
 use crate::medoid::medoid_of_hashes;
-use meme_index::{all_neighbors, HammingIndex};
+use meme_index::{symmetric_neighbors, FallbackIndex, HammingIndex, HashGroups};
 use meme_phash::PHash;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -284,13 +284,42 @@ pub fn try_dbscan(neighbors: &[Vec<usize>], min_pts: usize) -> Result<Clustering
 /// Convenience: compute neighbourhoods from a Hamming index and run
 /// DBSCAN in one call, parallelizing the pairwise stage over `threads`
 /// workers (0 = all cores).
+///
+/// # Panics
+/// Panics on malformed parameters (`min_pts == 0`);
+/// [`try_dbscan_with_index`] returns a typed error instead.
 pub fn dbscan_with_index<I: HammingIndex + Sync>(
     index: &I,
     params: DbscanParams,
     threads: usize,
 ) -> Clustering {
-    let neighbors = all_neighbors(index, params.eps, threads);
-    dbscan(&neighbors, params.min_pts)
+    match try_dbscan_with_index(index, params, threads) {
+        Ok(c) => c,
+        // lint:allow(panic-in-pipeline): documented panicking convenience over try_dbscan_with_index
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`dbscan_with_index`], routed through the duplicate-collapsed
+/// pair sweep: the item hashes are collapsed with [`HashGroups`], a fresh
+/// index is built over the distinct hashes only, and the item adjacency is
+/// recovered through the owner lists by [`symmetric_neighbors`] — the same
+/// path the pipeline's cluster stage takes. Labels are byte-identical to
+/// the legacy per-item `all_neighbors` sweep for every thread count;
+/// malformed parameters surface as a [`ClusterError`] instead of a panic.
+pub fn try_dbscan_with_index<I: HammingIndex + Sync>(
+    index: &I,
+    params: DbscanParams,
+    threads: usize,
+) -> Result<Clustering, ClusterError> {
+    if params.min_pts == 0 {
+        return Err(ClusterError::InvalidMinPts);
+    }
+    let hashes: Vec<PHash> = (0..index.len()).map(|i| index.hash_at(i)).collect();
+    let groups = HashGroups::new(&hashes);
+    let collapsed = FallbackIndex::build(groups.unique().to_vec(), params.eps);
+    let (neighbors, _) = symmetric_neighbors(&collapsed, &groups, params.eps, threads);
+    try_dbscan(&neighbors, params.min_pts)
 }
 
 #[cfg(test)]
@@ -458,6 +487,53 @@ mod tests {
     #[should_panic(expected = "min_pts")]
     fn zero_min_pts_panics() {
         let _ = dbscan(&[], 0);
+    }
+
+    #[test]
+    fn collapsed_sweep_matches_legacy_all_neighbors_path() {
+        // The duplicate-collapsed pair sweep must be a pure optimization:
+        // labels byte-identical to the legacy per-item `all_neighbors`
+        // adjacency for every thread count, on a workload heavy with
+        // verbatim duplicates (reposts — exactly what collapsing exists
+        // for).
+        let mut rng = seeded_rng(11);
+        let mut hashes = Vec::new();
+        for _ in 0..8 {
+            let center = PHash(rng.random());
+            for k in 0..10u8 {
+                // Half the family are exact duplicates of the center.
+                hashes.push(center.with_flipped_bits(&[k % 5, k % 3]));
+                hashes.push(center);
+            }
+        }
+        for _ in 0..20 {
+            hashes.push(PHash(rng.random()));
+        }
+        let idx = BruteForceIndex::new(hashes.clone());
+        for params in [DbscanParams::default(), DbscanParams { eps: 4, min_pts: 3 }] {
+            let legacy = try_dbscan(
+                &meme_index::all_neighbors(&idx, params.eps, 1),
+                params.min_pts,
+            )
+            .unwrap();
+            for threads in [1, 2, 8] {
+                let collapsed = try_dbscan_with_index(&idx, params, threads).unwrap();
+                assert_eq!(
+                    legacy, collapsed,
+                    "eps {} min_pts {} threads {threads}",
+                    params.eps, params.min_pts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_dbscan_with_index_reports_typed_errors() {
+        let idx = BruteForceIndex::new(vec![PHash(1), PHash(2)]);
+        assert_eq!(
+            try_dbscan_with_index(&idx, DbscanParams { eps: 8, min_pts: 0 }, 1),
+            Err(ClusterError::InvalidMinPts)
+        );
     }
 
     #[test]

@@ -991,17 +991,51 @@ impl PipelineOutput {
 
     /// Event streams for all annotated clusters, in
     /// [`PipelineOutput::annotated_clusters`] order.
+    ///
+    /// # Panics
+    /// Panics when an annotation or occurrence references a cluster
+    /// outside the medoid table — impossible for a pipeline-produced
+    /// output, but reachable through a corrupt checkpoint;
+    /// [`PipelineOutput::try_all_cluster_events`] returns a typed error
+    /// instead.
     pub fn all_cluster_events(&self, dataset: &Dataset) -> Vec<Vec<Event>> {
+        match self.try_all_cluster_events(dataset) {
+            Ok(streams) => streams,
+            // lint:allow(panic-in-pipeline): documented panicking convenience over try_all_cluster_events
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PipelineOutput::all_cluster_events`]: cluster ids that
+    /// point outside the medoid table surface as
+    /// [`PipelineError::CheckpointCorrupt`] instead of an index panic.
+    pub fn try_all_cluster_events(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<Vec<Vec<Event>>, PipelineError> {
         // One pass over posts, bucketed by cluster.
         let annotated = self.annotated_clusters();
-        let mut slot_of = vec![usize::MAX; self.medoid_hashes.len()];
+        let n_clusters = self.medoid_hashes.len();
+        let mut slot_of = vec![usize::MAX; n_clusters];
         for (slot, &c) in annotated.iter().enumerate() {
-            slot_of[c] = slot;
+            match slot_of.get_mut(c) {
+                Some(s) => *s = slot,
+                None => {
+                    return Err(PipelineError::CheckpointCorrupt(format!(
+                        "annotation names cluster {c}, but there are only {n_clusters} medoids"
+                    )))
+                }
+            }
         }
         let mut streams: Vec<Vec<Event>> = vec![Vec::new(); annotated.len()];
         for (p, occ) in dataset.posts.iter().zip(&self.occurrences) {
             if let Some(c) = occ {
-                let slot = slot_of[*c];
+                let slot = *slot_of.get(*c).ok_or_else(|| {
+                    PipelineError::CheckpointCorrupt(format!(
+                        "post {} occurs in cluster {c}, but there are only {n_clusters} medoids",
+                        p.id
+                    ))
+                })?;
                 if slot != usize::MAX {
                     streams[slot].push(Event::new(p.t, p.community.index()));
                 }
@@ -1010,7 +1044,7 @@ impl PipelineOutput {
         for s in &mut streams {
             s.sort_by(|a, b| a.t.total_cmp(&b.t));
         }
-        streams
+        Ok(streams)
     }
 
     /// Step 7: fit a Hawkes model per annotated cluster and aggregate
@@ -1022,7 +1056,7 @@ impl PipelineOutput {
         estimator: &InfluenceEstimator,
         threads: usize,
     ) -> Result<ClusterInfluence, PipelineError> {
-        let streams = self.all_cluster_events(dataset);
+        let streams = self.try_all_cluster_events(dataset)?;
         Ok(estimator.estimate(&streams, dataset.horizon(), threads)?)
     }
 
@@ -1113,21 +1147,53 @@ impl PipelineOutput {
     /// order) — the shared input of the Fig. 6 dendrograms, the Fig. 7
     /// graph, and the `memes graph` CLI.
     pub fn annotated_descriptors(&self) -> (Vec<ClusterDescriptor>, Vec<String>) {
+        match self.try_annotated_descriptors() {
+            Ok(r) => r,
+            // lint:allow(panic-in-pipeline): documented panicking convenience over try_annotated_descriptors
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`PipelineOutput::annotated_descriptors`]: annotations
+    /// whose cluster id falls outside the medoid table, or whose matched
+    /// entry ids fall outside the KYM site — shapes the pipeline never
+    /// emits, but a corrupt or stale-schema checkpoint can — surface as
+    /// [`PipelineError::CheckpointCorrupt`] instead of an index panic.
+    pub fn try_annotated_descriptors(
+        &self,
+    ) -> Result<(Vec<ClusterDescriptor>, Vec<String>), PipelineError> {
         let mut descriptors = Vec::new();
         let mut labels = Vec::new();
         for ann in self.annotations.iter().filter(|a| a.is_annotated()) {
             let Some(rep_id) = ann.representative else {
                 continue; // is_annotated() implies Some, but do not panic on a corrupt checkpoint
             };
-            let rep = self.site.entry(rep_id);
-            descriptors.push(ClusterDescriptor::from_annotation(
-                self.medoid_hashes[ann.cluster],
-                ann,
-                &self.site,
-            ));
+            let rep = self.site.get(rep_id).ok_or_else(|| {
+                PipelineError::CheckpointCorrupt(format!(
+                    "cluster {} has representative entry {rep_id}, but the site has only {} entries",
+                    ann.cluster,
+                    self.site.len()
+                ))
+            })?;
+            if let Some(m) = ann.matches.iter().find(|m| m.entry_id >= self.site.len()) {
+                return Err(PipelineError::CheckpointCorrupt(format!(
+                    "cluster {} matched entry {}, but the site has only {} entries",
+                    ann.cluster,
+                    m.entry_id,
+                    self.site.len()
+                )));
+            }
+            let medoid = *self.medoid_hashes.get(ann.cluster).ok_or_else(|| {
+                PipelineError::CheckpointCorrupt(format!(
+                    "annotation names cluster {}, but there are only {} medoids",
+                    ann.cluster,
+                    self.medoid_hashes.len()
+                ))
+            })?;
+            descriptors.push(ClusterDescriptor::from_annotation(medoid, ann, &self.site));
             labels.push(rep.name.clone());
         }
-        (descriptors, labels)
+        Ok((descriptors, labels))
     }
 
     /// Serialize a completed run to JSON.
@@ -1487,5 +1553,79 @@ mod tests {
         .run(&dataset)
         .unwrap();
         assert!(without.site.total_gallery_images() > with.site.total_gallery_images());
+    }
+
+    #[test]
+    fn influence_with_zero_annotated_clusters_is_zero_not_an_abort() {
+        // Regression: a run where no cluster earned a KYM annotation
+        // used to abort the process inside the Hawkes estimator
+        // (`chunks_mut(0)`); through the robust entry point it must be
+        // the zero result with no degradations.
+        let (dataset, mut out) = run_tiny();
+        for ann in &mut out.annotations {
+            ann.matches.clear();
+            ann.representative = None;
+        }
+        assert!(out.annotated_clusters().is_empty());
+        let estimator = InfluenceEstimator::new(Community::COUNT, 2.0);
+        let (influence, degradations) = out.estimate_influence_robust(&dataset, &estimator, 2);
+        assert!(influence.per_cluster.is_empty());
+        assert!(degradations.is_empty());
+        let strict = out.estimate_influence(&dataset, &estimator, 2).unwrap();
+        assert!(strict.per_cluster.is_empty());
+    }
+
+    #[test]
+    fn mangled_artifact_accessors_return_typed_errors() {
+        // A pipeline never emits these shapes, but a corrupt or
+        // stale-schema checkpoint can; each accessor must answer with
+        // `CheckpointCorrupt`, not an index panic.
+        let (dataset, out) = run_tiny();
+        assert!(!out.annotated_clusters().is_empty());
+
+        // Annotation cluster id past the medoid table.
+        let mut bad = out.clone();
+        let victim = bad
+            .annotations
+            .iter()
+            .position(|a| a.is_annotated())
+            .unwrap();
+        bad.annotations[victim].cluster = bad.medoid_hashes.len() + 7;
+        assert!(matches!(
+            bad.try_all_cluster_events(&dataset),
+            Err(PipelineError::CheckpointCorrupt(_))
+        ));
+        assert!(matches!(
+            bad.try_annotated_descriptors(),
+            Err(PipelineError::CheckpointCorrupt(_))
+        ));
+
+        // Occurrence pointing past the medoid table.
+        let mut bad = out.clone();
+        bad.occurrences[0] = Some(bad.medoid_hashes.len() + 7);
+        assert!(matches!(
+            bad.try_all_cluster_events(&dataset),
+            Err(PipelineError::CheckpointCorrupt(_))
+        ));
+
+        // Representative / matched entry ids past the KYM site.
+        let mut bad = out.clone();
+        bad.annotations[victim].representative = Some(bad.site.len() + 7);
+        assert!(matches!(
+            bad.try_annotated_descriptors(),
+            Err(PipelineError::CheckpointCorrupt(_))
+        ));
+        let mut bad = out.clone();
+        if let Some(m) = bad.annotations[victim].matches.first_mut() {
+            m.entry_id = bad.site.len() + 7;
+        }
+        assert!(matches!(
+            bad.try_annotated_descriptors(),
+            Err(PipelineError::CheckpointCorrupt(_))
+        ));
+
+        // The intact output still satisfies both accessors.
+        assert!(out.try_all_cluster_events(&dataset).is_ok());
+        assert!(out.try_annotated_descriptors().is_ok());
     }
 }

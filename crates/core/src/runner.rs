@@ -197,6 +197,20 @@ impl Checkpoint {
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
+
+    /// The completed run this checkpoint carries. The serving layer
+    /// loads finished runs straight from their last checkpoint; a
+    /// partial checkpoint, or one whose claimed stage outputs are
+    /// missing, surfaces as [`PipelineError::CheckpointCorrupt`]
+    /// instead of producing a half-populated output.
+    pub fn into_completed_output(self) -> Result<PipelineOutput, PipelineError> {
+        if let Some(stage) = self.next_stage() {
+            return Err(PipelineError::CheckpointCorrupt(format!(
+                "checkpoint is not a completed run: stage `{stage}` has not run"
+            )));
+        }
+        self.state.into_output()
+    }
 }
 
 /// FNV-1a fingerprint of a dataset's post skeleton (count, timestamps,

@@ -232,11 +232,20 @@ impl InfluenceEstimator {
     ) -> Result<ClusterInfluence, HawkesError> {
         let k = self.k;
         let n = clusters.len();
+        // No clusters means no work: skip straight to the zero result.
+        // `chunks_mut(0)` below would otherwise abort on the
+        // `chunk_len = 0.div_ceil(threads) = 0` chunk size.
+        if n == 0 {
+            return Ok(ClusterInfluence {
+                per_cluster: Vec::new(),
+                total: InfluenceMatrix::zeros(k),
+            });
+        }
         let mut per_cluster: Vec<InfluenceMatrix> = vec![InfluenceMatrix::zeros(k); n];
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4);
-        let threads = if threads == 0 { hw } else { threads }.clamp(1, n.max(1));
+        let threads = if threads == 0 { hw } else { threads }.clamp(1, n);
         let chunk_len = n.div_ceil(threads);
 
         let fitter = &self.fitter;
@@ -288,11 +297,23 @@ impl InfluenceEstimator {
     ) -> RobustInfluence {
         let k = self.k;
         let n = clusters.len();
+        // Same empty-input guard as `estimate`: with `n = 0` the chunk
+        // size underflows to zero and `chunks_mut(0)` aborts.
+        if n == 0 {
+            return RobustInfluence {
+                influence: ClusterInfluence {
+                    per_cluster: Vec::new(),
+                    total: InfluenceMatrix::zeros(k),
+                },
+                skipped: Vec::new(),
+                fit_stats: Vec::new(),
+            };
+        }
         let mut per_cluster: Vec<InfluenceMatrix> = vec![InfluenceMatrix::zeros(k); n];
         let hw = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4);
-        let threads = if threads == 0 { hw } else { threads }.clamp(1, n.max(1));
+        let threads = if threads == 0 { hw } else { threads }.clamp(1, n);
         let chunk_len = n.div_ceil(threads);
 
         let fitter = &self.fitter;
@@ -862,5 +883,30 @@ mod tests {
     fn split_with_empty_groups_is_neutral() {
         let split = SplitInfluence::compare(&[], &[]);
         assert!(split.p_values.is_empty());
+    }
+
+    #[test]
+    fn empty_cluster_list_yields_zero_influence_not_a_panic() {
+        // Regression: `estimate` / `estimate_robust` on zero clusters
+        // used to reach `chunks_mut(0)` and abort the process. A run
+        // with no annotated clusters is a legal (if sad) outcome and
+        // must produce the zero result.
+        for threads in [1, 2, 8] {
+            let est = InfluenceEstimator::new(3, 2.0);
+            let out = est.estimate(&[], 100.0, threads).unwrap();
+            assert!(out.per_cluster.is_empty());
+            assert_eq!(out.total.k(), 3);
+            for src in 0..3 {
+                for dst in 0..3 {
+                    assert_eq!(out.total.count(src, dst), 0.0);
+                }
+            }
+
+            let robust = est.estimate_robust(&[], 100.0, threads);
+            assert!(robust.influence.per_cluster.is_empty());
+            assert_eq!(robust.influence.total.k(), 3);
+            assert!(robust.skipped.is_empty());
+            assert!(robust.fit_stats.is_empty());
+        }
     }
 }

@@ -1,0 +1,65 @@
+//! Hot-swappable meme-lookup serving layer (DESIGN.md §12).
+//!
+//! The pipeline (`meme-core`) is a batch program: it turns a crawl into
+//! a run artifact and exits. This crate is the other half of the
+//! paper's workflow — *using* the processed corpus: given an image's
+//! pHash, which meme is it, which Know Your Meme entry names it, and
+//! what does its influence profile look like? (The association rule is
+//! the paper's Step 6: nearest annotated medoid within Hamming
+//! distance θ = 8.)
+//!
+//! Layers, bottom up:
+//!
+//! - [`artifact`]: load a completed run from disk — `PipelineOutput`
+//!   JSON or a v2 checkpoint envelope, sniffed by magic.
+//! - [`Snapshot`]: the artifact recast as an immutable read-optimized
+//!   index (duplicate-collapsed medoids behind the workspace's
+//!   [`FallbackIndex`](meme_index::FallbackIndex), denormalized
+//!   [`MemeRecord`] table, optional influence rows). In-process lookups
+//!   are allocation-free in steady state given a per-thread
+//!   [`ServeScratch`].
+//! - [`SnapshotStore`]: epoch-swapped publication — reload a new
+//!   artifact under live traffic; readers pin a generation per batch
+//!   and never pause.
+//! - [`BatchQueue`] + [`Server`]: the micro-batching TCP front end
+//!   speaking a line-delimited JSON [`protocol`].
+//!
+//! The `memes serve` / `memes lookup` subcommands and the
+//! `serve-load` closed-loop benchmark (`BENCH_serve.json`) sit on top
+//! of these pieces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod batch;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+
+pub use artifact::load_output;
+pub use batch::BatchQueue;
+pub use error::ServeError;
+pub use server::{Server, ServerConfig};
+pub use snapshot::{LookupHit, MemeRecord, ServeScratch, Snapshot, DEFAULT_THETA};
+pub use store::SnapshotStore;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use meme_core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+    use meme_simweb::SimConfig;
+    use std::sync::OnceLock;
+
+    /// One shared tiny run for the whole unit-test binary: the pipeline
+    /// dominates test wall time, so every module borrows this output
+    /// (cloning when a test needs to corrupt it).
+    pub fn tiny_output() -> &'static PipelineOutput {
+        static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+        OUT.get_or_init(|| {
+            let dataset = SimConfig::tiny(17).generate();
+            Pipeline::new(PipelineConfig::fast()).run(&dataset).unwrap()
+        })
+    }
+}

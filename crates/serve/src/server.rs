@@ -1,0 +1,467 @@
+//! The TCP query server.
+//!
+//! Dependency-free networking on `std::net`: an acceptor thread hands
+//! each connection to its own reader thread; readers parse request
+//! lines and push lookup jobs onto the shared [`BatchQueue`]; a fixed
+//! pool of worker threads drains the queue in micro-batches, resolves
+//! each job against **one** [`SnapshotStore::load`] per batch, and
+//! replies through the job's channel. Control requests (`stats`,
+//! `reload`) are rare and run inline on the reader thread, so the hot
+//! path stays a pure hash-in/record-out pipeline.
+//!
+//! Shutdown is cooperative and panic-free: [`Server::shutdown`] raises
+//! the stop flag, unblocks the acceptor with a loopback connection,
+//! closes the queue (workers drain what is left, then exit), and joins
+//! the acceptor and workers. Connection readers are detached — they
+//! exit when their client hangs up or when a push is rejected by the
+//! closed queue.
+
+use crate::artifact::load_output;
+use crate::batch::BatchQueue;
+use crate::error::ServeError;
+use crate::protocol::{
+    parse_request, render_error, render_hit, render_miss, render_reloaded, render_stats, Request,
+};
+use crate::snapshot::{ServeScratch, Snapshot, DEFAULT_THETA};
+use crate::store::SnapshotStore;
+use meme_metrics::{Metrics, Span, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US};
+use meme_phash::PHash;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// How a [`Server`] listens and schedules work.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Lookup worker threads draining the admission queue.
+    pub workers: usize,
+    /// Largest micro-batch a worker takes in one drain.
+    pub batch_max: usize,
+    /// Whether clients may `reload` artifacts into the store.
+    pub allow_reload: bool,
+    /// Association threshold for snapshots built by `reload`.
+    pub theta: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch_max: 32,
+            allow_reload: false,
+            theta: DEFAULT_THETA,
+        }
+    }
+}
+
+/// One admitted lookup: the query, its latency span (started at
+/// admission, finished when the reply is rendered), and the channel
+/// back to the connection that asked.
+struct Job {
+    hash: PHash,
+    span: Span,
+    reply: mpsc::Sender<String>,
+}
+
+/// Everything a connection reader needs, bundled for the spawn.
+struct ConnShared {
+    store: Arc<SnapshotStore>,
+    queue: Arc<BatchQueue<Job>>,
+    metrics: Metrics,
+    queries: Arc<AtomicU64>,
+    allow_reload: bool,
+    theta: u32,
+}
+
+/// A running query server. Dropping it shuts it down.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    store: Arc<SnapshotStore>,
+    queue: Arc<BatchQueue<Job>>,
+    stop: Arc<AtomicBool>,
+    queries: Arc<AtomicU64>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("hash", &self.hash).finish()
+    }
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and acceptor, and start serving
+    /// `store`'s current snapshot.
+    pub fn start(
+        store: Arc<SnapshotStore>,
+        config: ServerConfig,
+        metrics: Metrics,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Io {
+            target: config.addr.clone(),
+            detail: e.to_string(),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::Io {
+            target: config.addr.clone(),
+            detail: e.to_string(),
+        })?;
+        let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let queries = Arc::new(AtomicU64::new(0));
+        metrics.gauge("serve.snapshot_generation", store.generation() as f64);
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let store = Arc::clone(&store);
+                let metrics = metrics.clone();
+                let batch_max = config.batch_max.max(1);
+                std::thread::spawn(move || worker_loop(&queue, &store, &metrics, batch_max))
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = ConnShared {
+                store: Arc::clone(&store),
+                queue: Arc::clone(&queue),
+                metrics,
+                queries: Arc::clone(&queries),
+                allow_reload: config.allow_reload,
+                theta: config.theta,
+            };
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &stop))
+        };
+
+        Ok(Server {
+            local_addr,
+            store,
+            queue,
+            stop,
+            queries,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The snapshot store being served (for out-of-band swaps).
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// Lookup requests admitted so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain queued work, and join the threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return; // already shut down
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway loopback connection; if the
+        // listener is somehow unreachable the acceptor is already dead.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = acceptor.join();
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &ConnShared, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else {
+            continue; // transient accept failure; keep serving
+        };
+        // One-line requests and responses are far below the MSS; Nagle
+        // plus delayed ACKs would stall every round trip ~40ms.
+        let _ = stream.set_nodelay(true);
+        let conn_shared = ConnShared {
+            store: Arc::clone(&shared.store),
+            queue: Arc::clone(&shared.queue),
+            metrics: shared.metrics.clone(),
+            queries: Arc::clone(&shared.queries),
+            allow_reload: shared.allow_reload,
+            theta: shared.theta,
+        };
+        // Detached: exits on client hangup or queue close.
+        std::thread::spawn(move || connection_loop(stream, &conn_shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &ConnShared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let mut line = String::new();
+    let mut buf = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or connection error
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response_ready = match parse_request(line.trim_end()) {
+            Ok(Request::Lookup { hash }) => {
+                shared.queries.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.inc("serve.queries");
+                let job = Job {
+                    hash,
+                    span: shared.metrics.span("serve/query"),
+                    reply: reply_tx.clone(),
+                };
+                if !shared.queue.push(job) {
+                    return; // shutting down; drop the connection
+                }
+                match reply_rx.recv() {
+                    Ok(resp) => {
+                        buf = resp;
+                        true
+                    }
+                    Err(_) => return, // workers gone mid-request
+                }
+            }
+            Ok(Request::Stats) => {
+                let snap = shared.store.load();
+                render_stats(
+                    &mut buf,
+                    snap.generation(),
+                    snap.len(),
+                    shared.queries.load(Ordering::Relaxed),
+                );
+                true
+            }
+            Ok(Request::Reload { artifact }) => {
+                handle_reload(&mut buf, shared, &artifact);
+                true
+            }
+            Err(e) => {
+                render_error(&mut buf, &e.to_string());
+                true
+            }
+        };
+        if response_ready {
+            buf.push('\n');
+            if writer.write_all(buf.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Load `artifact`, build a snapshot at the server's θ, and swap it in.
+///
+/// Reloaded snapshots carry no influence profile: influence estimation
+/// needs the event streams of the original dataset, which the artifact
+/// does not embed. `memes serve` recomputes it at startup when the
+/// dataset is available; a protocol reload trades that column for not
+/// having to restart.
+fn handle_reload(buf: &mut String, shared: &ConnShared, artifact: &str) {
+    if !shared.allow_reload {
+        render_error(buf, "reload is disabled (start the server with --reload)");
+        return;
+    }
+    let swapped = load_output(Path::new(artifact))
+        .and_then(|output| Snapshot::build(&output, None, shared.theta, 0))
+        .map(|snap| shared.store.swap(snap));
+    match swapped {
+        Ok(snap) => {
+            shared
+                .metrics
+                .gauge("serve.snapshot_generation", snap.generation() as f64);
+            shared.metrics.inc("serve.reloads");
+            render_reloaded(buf, snap.generation(), snap.len());
+        }
+        Err(e) => render_error(buf, &e.to_string()),
+    }
+}
+
+fn worker_loop(
+    queue: &BatchQueue<Job>,
+    store: &SnapshotStore,
+    metrics: &Metrics,
+    batch_max: usize,
+) {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut scratch = ServeScratch::new();
+    let mut buf = String::new();
+    loop {
+        let n = queue.drain_into(batch_max, &mut jobs);
+        if n == 0 {
+            return; // queue closed and drained
+        }
+        // One store load pins one generation for the whole micro-batch:
+        // that is both the amortization and the consistency guarantee
+        // (a batch never straddles a swap).
+        let snap = store.load();
+        metrics.observe("serve.batch_size", &BATCH_SIZE_BUCKETS, n as f64);
+        metrics.gauge("serve.snapshot_generation", snap.generation() as f64);
+        for job in jobs.drain(..) {
+            match snap.lookup(job.hash, &mut scratch) {
+                Some(hit) => {
+                    metrics.inc("serve.hits");
+                    render_hit(&mut buf, job.hash, &hit, &snap);
+                }
+                None => {
+                    metrics.inc("serve.misses");
+                    render_miss(&mut buf, job.hash, snap.generation());
+                }
+            }
+            let secs = job.span.finish();
+            metrics.observe("serve.latency_us", &LATENCY_BUCKETS_US, secs * 1e6);
+            // A dead receiver means the client hung up before the
+            // answer; nothing to do but move on.
+            let _ = job.reply.send(buf.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use serde::Value;
+
+    fn tiny_store() -> (Arc<SnapshotStore>, Vec<PHash>) {
+        let output = crate::testutil::tiny_output();
+        let snap = Snapshot::build(output, None, DEFAULT_THETA, 0).unwrap();
+        let medoids = snap.records().iter().map(|r| r.medoid).collect();
+        (Arc::new(SnapshotStore::new(snap)), medoids)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> Value {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        serde_json::from_str(&line).unwrap()
+    }
+
+    fn field<'a>(doc: &'a Value, name: &str) -> &'a Value {
+        doc.as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_lookups_stats_and_errors_over_tcp() {
+        let (store, medoids) = tiny_store();
+        let server = Server::start(store, ServerConfig::default(), Metrics::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        // Every medoid resolves to a hit at distance 0.
+        for m in &medoids {
+            let doc = roundtrip(&mut stream, &mut reader, &format!("{{\"hash\":\"{m}\"}}"));
+            assert_eq!(field(&doc, "found"), &Value::Bool(true), "{m}");
+            assert_eq!(field(&doc, "distance"), &Value::U64(0));
+        }
+        // A far hash misses (tiny runs still give wide Hamming gaps).
+        let far = PHash(medoids[0].0 ^ 0xFFFF_FFFF_FFFF_FFFF);
+        let doc = roundtrip(&mut stream, &mut reader, &format!("{{\"hash\":\"{far}\"}}"));
+        if field(&doc, "found") == &Value::Bool(true) {
+            assert!(
+                matches!(field(&doc, "distance"), Value::U64(d) if *d <= u64::from(DEFAULT_THETA))
+            );
+        }
+        // Stats reflect the admitted queries; bad lines keep the
+        // connection open.
+        let doc = roundtrip(&mut stream, &mut reader, "{\"op\":\"stats\"}");
+        assert_eq!(
+            field(&doc, "queries"),
+            &Value::U64(medoids.len() as u64 + 1)
+        );
+        let doc = roundtrip(&mut stream, &mut reader, "{\"op\":\"nope\"}");
+        assert!(matches!(field(&doc, "error"), Value::String(_)));
+        let doc = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"reload\",\"artifact\":\"x\"}",
+        );
+        assert!(matches!(field(&doc, "error"), Value::String(_)));
+        // The connection still works after every error.
+        let m = medoids[0];
+        let doc = roundtrip(&mut stream, &mut reader, &format!("{{\"hash\":\"{m}\"}}"));
+        assert_eq!(field(&doc, "found"), &Value::Bool(true));
+
+        drop(stream);
+        drop(reader);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_swaps_generation_without_dropping_connections() {
+        let (store, medoids) = tiny_store();
+        let dir = std::env::temp_dir().join(format!("meme-serve-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("run.json");
+        std::fs::write(&artifact, crate::testutil::tiny_output().to_json()).unwrap();
+
+        let config = ServerConfig {
+            allow_reload: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(store, config, Metrics::disabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        let m = medoids[0];
+        let before = roundtrip(&mut stream, &mut reader, &format!("{{\"hash\":\"{m}\"}}"));
+        assert_eq!(field(&before, "generation"), &Value::U64(1));
+        let req = format!(
+            "{{\"op\":\"reload\",\"artifact\":\"{}\"}}",
+            artifact.display()
+        );
+        let doc = roundtrip(&mut stream, &mut reader, &req);
+        assert_eq!(field(&doc, "reloaded"), &Value::Bool(true));
+        assert_eq!(field(&doc, "generation"), &Value::U64(2));
+        // The same connection keeps answering, now from generation 2.
+        let after = roundtrip(&mut stream, &mut reader, &format!("{{\"hash\":\"{m}\"}}"));
+        assert_eq!(field(&after, "found"), &Value::Bool(true));
+        assert_eq!(field(&after, "generation"), &Value::U64(2));
+
+        drop(stream);
+        drop(reader);
+        server.shutdown();
+    }
+}

@@ -14,6 +14,9 @@
 //! memes quarantine ls FILE
 //! memes quarantine replay FILE --scale small --seed 7
 //! memes validate-metrics BENCH_run.json
+//! memes serve    --artifact run.json [--addr 127.0.0.1:0] [--workers N]
+//!                [--reload] [--scale small --seed 7]
+//! memes lookup   HASH (--artifact run.json | --addr HOST:PORT)
 //! ```
 //!
 //! Every subcommand regenerates the (deterministic) dataset from its
@@ -39,6 +42,18 @@
 //! present. `memes quarantine ls FILE` lists a dead-letter file;
 //! `memes quarantine replay FILE` re-processes the quarantined items
 //! against a clean pipeline and reports which have recovered.
+//!
+//! `memes serve` loads a completed run artifact (`--out` JSON or a
+//! completed checkpoint) into an immutable snapshot and answers
+//! line-delimited JSON lookups over TCP (DESIGN.md §12). Binding port 0
+//! picks a free port; the chosen address is printed to stdout as
+//! `serving on HOST:PORT` so scripts and tests can discover it.
+//! `--reload` lets clients hot-swap a new artifact in without dropping
+//! connections. When `--scale`/`--seed` describe the run that produced
+//! the artifact, the dataset is regenerated and Step-7 influence
+//! profiles are served alongside each hit. `memes lookup HASH` answers
+//! one query — in process with `--artifact`, or against a running
+//! server with `--addr` — and exits 0 on a hit, 1 on a miss.
 //!
 //! `--metrics-out PATH` (on `run` and `resume`) attaches a metrics
 //! registry to the pipeline, additionally runs Step-7 influence
@@ -67,8 +82,13 @@ use origins_of_memes::core::supervise::{
 use origins_of_memes::hawkes::InfluenceEstimator;
 use origins_of_memes::metrics::{Metrics, Registry};
 use origins_of_memes::observability::validate_metrics_json;
-use origins_of_memes::phash::{ImageHasher, PerceptualHasher};
+use origins_of_memes::phash::{ImageHasher, PHash, PerceptualHasher};
+use origins_of_memes::serve::{
+    load_output, protocol, ServeScratch, Server, ServerConfig, Snapshot, SnapshotStore,
+    DEFAULT_THETA,
+};
 use origins_of_memes::simweb::{Community, Dataset, ExecFaultSpec, SimConfig, SimScale};
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -87,6 +107,10 @@ struct Args {
     retries: u32,
     quarantine: Option<String>,
     chaos: Option<String>,
+    artifact: Option<String>,
+    addr: Option<String>,
+    workers: usize,
+    reload: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -105,6 +129,10 @@ fn parse_args() -> Result<Args, String> {
         retries: 2,
         quarantine: None,
         chaos: None,
+        artifact: None,
+        addr: None,
+        workers: 2,
+        reload: false,
     };
     if args.command == "validate-metrics" {
         // Takes one positional FILE argument instead of flags; it is
@@ -164,6 +192,22 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 args.chaos = Some(argv.get(i).cloned().ok_or("--chaos needs a preset name")?);
             }
+            "--artifact" => {
+                i += 1;
+                args.artifact = Some(argv.get(i).cloned().ok_or("--artifact needs a path")?);
+            }
+            "--addr" => {
+                i += 1;
+                args.addr = Some(argv.get(i).cloned().ok_or("--addr needs HOST:PORT")?);
+            }
+            "--workers" => {
+                i += 1;
+                args.workers = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs an integer")?;
+            }
+            "--reload" => args.reload = true,
             "--train-filter" => args.train_filter = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional => args.positionals.push(positional.to_string()),
@@ -182,6 +226,22 @@ fn parse_args() -> Result<Args, String> {
             _ => return Err("quarantine needs `ls FILE` or `replay FILE`".to_string()),
         }
     }
+    if args.command == "serve" && args.artifact.is_none() {
+        return Err("serve needs --artifact PATH".to_string());
+    }
+    if args.command == "lookup" {
+        if args.positionals.len() != 1 {
+            return Err("lookup needs a HASH argument".to_string());
+        }
+        match (&args.artifact, &args.addr) {
+            (Some(_), None) | (None, Some(_)) => {}
+            _ => {
+                return Err(
+                    "lookup needs exactly one of --artifact PATH or --addr HOST:PORT".to_string(),
+                )
+            }
+        }
+    }
     Ok(args)
 }
 
@@ -192,7 +252,10 @@ fn usage() -> String {
      [--retries N] [--quarantine PATH] [--chaos PRESET]\n\
      \u{20}      memes fsck CHECKPOINT [--scale S --seed N --train-filter]\n\
      \u{20}      memes quarantine <ls|replay> FILE [--scale S --seed N]\n\
-     \u{20}      memes validate-metrics FILE"
+     \u{20}      memes validate-metrics FILE\n\
+     \u{20}      memes serve --artifact PATH [--addr HOST:PORT] [--workers N] \
+     [--reload] [--scale S --seed N]\n\
+     \u{20}      memes lookup HASH (--artifact PATH | --addr HOST:PORT)"
         .to_string()
 }
 
@@ -423,6 +486,170 @@ fn cmd_quarantine_replay(args: &Args, path: &str) -> ExitCode {
     }
 }
 
+/// `memes serve --artifact PATH` — load a completed run artifact and
+/// answer lookups over TCP until killed. Exit 2 on any startup failure;
+/// a healthy server never returns.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let artifact = args
+        .artifact
+        .as_deref()
+        .expect("parse_args guarantees --artifact");
+    let output = match load_output(std::path::Path::new(artifact)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve: cannot load {artifact}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    // Influence profiles need the dataset's event streams, which the
+    // artifact does not carry; compute them only when the caller
+    // described the producing run with --scale/--seed.
+    let influence = if args.explicit_dataset {
+        let dataset = generate_dataset(args);
+        let estimator = InfluenceEstimator::new(Community::COUNT, 3.0);
+        let (influence, skipped) = output.estimate_influence_robust(&dataset, &estimator, 0);
+        if !skipped.is_empty() {
+            eprintln!("influence: {} cluster(s) skipped", skipped.len());
+        }
+        Some(influence)
+    } else {
+        None
+    };
+    let snapshot = match Snapshot::build(&output, influence.as_ref(), DEFAULT_THETA, 0) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: rejected artifact {artifact}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    let store = Arc::new(SnapshotStore::new(snapshot));
+    let config = ServerConfig {
+        addr: args
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        workers: args.workers,
+        allow_reload: args.reload,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(store, config, Metrics::disabled()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    // Stdout carries the bound address (port 0 picks a free one) so a
+    // parent process can connect; everything else narrates on stderr.
+    println!("serving on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serve: {} meme(s) from {artifact} (influence: {}, reload: {})",
+        server.store().load().len(),
+        if influence.is_some() { "yes" } else { "no" },
+        if args.reload { "enabled" } else { "disabled" },
+    );
+    loop {
+        std::thread::park(); // serve until killed
+    }
+}
+
+/// `memes lookup HASH` — answer one query, either in process from an
+/// artifact or against a running server. Exit 0 hit, 1 miss, 2 on
+/// operational errors (bad hash, unreachable server, unloadable
+/// artifact).
+fn cmd_lookup(args: &Args) -> ExitCode {
+    let raw = &args.positionals[0];
+    let hash: PHash = match raw.parse() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("lookup: bad hash {raw:?}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    if let Some(addr) = &args.addr {
+        return lookup_remote(addr, hash);
+    }
+    let artifact = args
+        .artifact
+        .as_deref()
+        .expect("parse_args guarantees --artifact");
+    let output = match load_output(std::path::Path::new(artifact)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lookup: cannot load {artifact}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    let snapshot = match Snapshot::build(&output, None, DEFAULT_THETA, 1) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lookup: rejected artifact {artifact}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    let mut scratch = ServeScratch::new();
+    let mut buf = String::new();
+    // Same wire format as the server, so scripts can treat both modes
+    // identically.
+    match snapshot.lookup(hash, &mut scratch) {
+        Some(hit) => {
+            protocol::render_hit(&mut buf, hash, &hit, &snapshot);
+            println!("{buf}");
+            Exit::Clean.into()
+        }
+        None => {
+            protocol::render_miss(&mut buf, hash, snapshot.generation());
+            println!("{buf}");
+            Exit::Violations.into()
+        }
+    }
+}
+
+/// One lookup over the wire protocol against a running `memes serve`.
+fn lookup_remote(addr: &str, hash: PHash) -> ExitCode {
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lookup: cannot connect to {addr}: {e}");
+            return Exit::Operational.into();
+        }
+    };
+    let _ = stream.set_nodelay(true); // one-line round trip; avoid Nagle
+
+    if let Err(e) = writeln!(stream, "{{\"hash\":\"{hash}\"}}") {
+        eprintln!("lookup: cannot send to {addr}: {e}");
+        return Exit::Operational.into();
+    }
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(&stream).read_line(&mut line) {
+        eprintln!("lookup: cannot read from {addr}: {e}");
+        return Exit::Operational.into();
+    }
+    let line = line.trim_end();
+    if line.is_empty() {
+        eprintln!("lookup: {addr} closed the connection without answering");
+        return Exit::Operational.into();
+    }
+    println!("{line}");
+    // The response decides the exit code: found:true hit, found:false
+    // miss, anything else (an error line) operational.
+    let found = serde_json::from_str::<serde::Value>(line)
+        .ok()
+        .as_ref()
+        .and_then(serde::Value::as_object)
+        .and_then(|o| {
+            o.iter()
+                .find(|(k, _)| k == "found")
+                .map(|(_, v)| matches!(v, serde::Value::Bool(true)))
+        });
+    match found {
+        Some(true) => Exit::Clean.into(),
+        Some(false) => Exit::Violations.into(),
+        None => Exit::Operational.into(),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -466,6 +693,12 @@ fn main() -> ExitCode {
             "ls" => cmd_quarantine_ls(&file),
             _ => cmd_quarantine_replay(&args, &file),
         };
+    }
+    if args.command == "serve" {
+        return cmd_serve(&args);
+    }
+    if args.command == "lookup" {
+        return cmd_lookup(&args);
     }
     if !matches!(
         args.command.as_str(),

@@ -7,6 +7,46 @@
 //! registry under a top-level `"metrics"` key.
 
 use serde::Value;
+use std::fmt;
+
+/// Why a metrics JSON document was rejected. Two variants because the
+/// caller's remedies differ: [`MetricsSchemaError::Parse`] means the
+/// file is not JSON at all (wrong file, truncated write), while
+/// [`MetricsSchemaError::Schema`] means it parsed but breaks the
+/// DESIGN.md §7 contract (version drift, malformed section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsSchemaError {
+    /// The document is not valid JSON.
+    Parse(String),
+    /// The document parsed but violates the schema; the message names
+    /// the offending section and field.
+    Schema(String),
+}
+
+impl fmt::Display for MetricsSchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse(e) => write!(f, "not valid JSON: {e}"),
+            Self::Schema(e) => write!(f, "schema violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsSchemaError {}
+
+// The checks below build their messages with `format!` / `&'static str`
+// and `?`-convert; both land in the `Schema` variant.
+impl From<String> for MetricsSchemaError {
+    fn from(msg: String) -> Self {
+        Self::Schema(msg)
+    }
+}
+
+impl From<&str> for MetricsSchemaError {
+    fn from(msg: &str) -> Self {
+        Self::Schema(msg.to_string())
+    }
+}
 
 /// Validate a metrics JSON document against the DESIGN.md §7 schema.
 ///
@@ -23,8 +63,9 @@ use serde::Value;
 ///   `null`);
 /// * every histogram has `counts.len() == bounds.len() + 1`, strictly
 ///   ascending bounds, and bucket counts summing to `count`.
-pub fn validate_metrics_json(text: &str) -> Result<(), String> {
-    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+pub fn validate_metrics_json(text: &str) -> Result<(), MetricsSchemaError> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| MetricsSchemaError::Parse(e.to_string()))?;
     let root = doc.as_object().ok_or("top level is not an object")?;
     let root = match (get(root, "schema_version"), get(root, "metrics")) {
         (None, Some(inner)) => inner
@@ -40,7 +81,8 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
         return Err(format!(
             "schema_version {version} != supported {}",
             meme_metrics::SCHEMA_VERSION
-        ));
+        )
+        .into());
     }
 
     let section = |name: &str| {
@@ -58,20 +100,20 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
                 .and_then(as_f64)
                 .ok_or_else(|| format!("span `{name}`: missing number `{field}`"))?;
             if v < 0.0 {
-                return Err(format!("span `{name}`: negative `{field}`"));
+                return Err(format!("span `{name}`: negative `{field}`").into());
             }
         }
     }
 
     for (name, v) in section("counters")? {
         if as_u64(v).is_none() {
-            return Err(format!("counter `{name}`: not a non-negative integer"));
+            return Err(format!("counter `{name}`: not a non-negative integer").into());
         }
     }
 
     for (name, v) in section("gauges")? {
         if !matches!(v, Value::Null) && as_f64(v).is_none() {
-            return Err(format!("gauge `{name}`: not a number or null"));
+            return Err(format!("gauge `{name}`: not a number or null").into());
         }
     }
 
@@ -91,14 +133,15 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
                 "histogram `{name}`: {} counts for {} bounds (want bounds + 1)",
                 counts.len(),
                 bounds.len()
-            ));
+            )
+            .into());
         }
         let bound_vals: Vec<f64> = bounds
             .iter()
             .map(|b| as_f64(b).ok_or_else(|| format!("histogram `{name}`: non-numeric bound")))
             .collect::<Result<_, _>>()?;
         if bound_vals.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(format!("histogram `{name}`: bounds not strictly ascending"));
+            return Err(format!("histogram `{name}`: bounds not strictly ascending").into());
         }
         let total = get(h, "count")
             .and_then(as_u64)
@@ -110,10 +153,11 @@ pub fn validate_metrics_json(text: &str) -> Result<(), String> {
         if summed != total {
             return Err(format!(
                 "histogram `{name}`: bucket counts sum to {summed}, `count` says {total}"
-            ));
+            )
+            .into());
         }
         if get(h, "sum").and_then(as_f64).is_none() {
-            return Err(format!("histogram `{name}`: missing number `sum`"));
+            return Err(format!("histogram `{name}`: missing number `sum`").into());
         }
     }
 
@@ -175,8 +219,15 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_bad_schemas() {
-        assert!(validate_metrics_json("not json").is_err());
-        assert!(validate_metrics_json("[1,2,3]").is_err());
+        // The two variants separate "wrong file" from "contract drift".
+        assert!(matches!(
+            validate_metrics_json("not json"),
+            Err(MetricsSchemaError::Parse(_))
+        ));
+        assert!(matches!(
+            validate_metrics_json("[1,2,3]"),
+            Err(MetricsSchemaError::Schema(_))
+        ));
         assert!(validate_metrics_json("{}").is_err());
         let wrong_version = r#"{"schema_version": 999, "spans": {}, "counters": {},
                                 "gauges": {}, "histograms": {}}"#;
@@ -186,7 +237,8 @@ mod tests {
                 "h": {"bounds": [1.0, 2.0], "counts": [1, 2], "count": 3, "sum": 4.0}
             }}"#;
         let err = validate_metrics_json(bad_histogram).unwrap_err();
-        assert!(err.contains("counts"), "{err}");
+        assert!(matches!(err, MetricsSchemaError::Schema(_)));
+        assert!(err.to_string().contains("counts"), "{err}");
         let miscounted = r#"{"schema_version": 1, "spans": {}, "counters": {},
             "gauges": {}, "histograms": {
                 "h": {"bounds": [1.0], "counts": [1, 2], "count": 5, "sum": 4.0}

@@ -1,0 +1,158 @@
+//! `memes serve` / `memes lookup` follow the workspace exit-code
+//! convention ([`Exit`](origins_of_memes::analysis)): `0` hit, `1`
+//! miss, `2` operational (bad usage, unloadable artifact, unreachable
+//! server). The serve test also pins the startup contract scripts rely
+//! on: the bound address is the first stdout line, so `--addr
+//! 127.0.0.1:0` (a free port) stays discoverable.
+
+use origins_of_memes::core::pipeline::{Pipeline, PipelineConfig};
+use origins_of_memes::simweb::SimConfig;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::sync::OnceLock;
+
+/// One tiny completed-run artifact shared by every test in this file,
+/// plus the hex rendering of an annotated cluster's medoid (a
+/// guaranteed hit) — built once, the pipeline run dominates the cost.
+fn artifact() -> &'static (PathBuf, String) {
+    static ART: OnceLock<(PathBuf, String)> = OnceLock::new();
+    ART.get_or_init(|| {
+        let dataset = SimConfig::tiny(17).generate();
+        let output = Pipeline::new(PipelineConfig::fast()).run(&dataset).unwrap();
+        let ann = output
+            .annotations
+            .iter()
+            .find(|a| a.is_annotated())
+            .expect("tiny(17) run has annotated clusters");
+        let medoid = format!("{}", output.medoid_hashes[ann.cluster]);
+        let path =
+            std::env::temp_dir().join(format!("memes-cli-serve-{}.json", std::process::id()));
+        std::fs::write(&path, output.to_json()).expect("write artifact");
+        (path, medoid)
+    })
+}
+
+fn memes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memes"))
+        .args(args)
+        .output()
+        .expect("spawn memes")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("memes terminated by signal")
+}
+
+#[test]
+fn local_lookup_exits_zero_on_hit_and_one_on_miss() {
+    let (path, medoid) = artifact();
+    let path = path.to_str().unwrap();
+
+    let hit = memes(&["lookup", medoid, "--artifact", path]);
+    assert_eq!(
+        exit_code(&hit),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&hit.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&hit.stdout);
+    assert!(stdout.contains("\"found\":true"), "{stdout}");
+    assert!(stdout.contains("\"distance\":0"), "{stdout}");
+
+    // All-ones is ~32 bits from a pHash medoid — far past θ = 8.
+    let miss = memes(&["lookup", "ffffffffffffffff", "--artifact", path]);
+    assert_eq!(exit_code(&miss), 1);
+    assert!(String::from_utf8_lossy(&miss.stdout).contains("\"found\":false"));
+}
+
+#[test]
+fn serve_answers_remote_lookups_on_a_discovered_port() {
+    let (path, medoid) = artifact();
+    let mut server = Command::new(env!("CARGO_BIN_EXE_memes"))
+        .args(["serve", "--artifact", path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn memes serve");
+    // First stdout line announces the bound address (port 0 → free
+    // port); that is the whole discovery protocol.
+    let mut line = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read serve banner");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+
+    let hit = memes(&["lookup", medoid, "--addr", &addr]);
+    let miss = memes(&["lookup", "ffffffffffffffff", "--addr", &addr]);
+    server.kill().expect("kill memes serve");
+    let _ = server.wait();
+
+    assert_eq!(
+        exit_code(&hit),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&hit.stderr)
+    );
+    assert!(String::from_utf8_lossy(&hit.stdout).contains("\"found\":true"));
+    assert_eq!(exit_code(&miss), 1);
+}
+
+#[test]
+fn serve_and_lookup_bad_usage_exits_two() {
+    let (path, medoid) = artifact();
+    let path = path.to_str().unwrap();
+
+    assert_eq!(exit_code(&memes(&["serve"])), 2, "serve without --artifact");
+    assert_eq!(
+        exit_code(&memes(&["lookup", medoid])),
+        2,
+        "lookup without a source"
+    );
+    assert_eq!(
+        exit_code(&memes(&[
+            "lookup",
+            medoid,
+            "--artifact",
+            path,
+            "--addr",
+            "127.0.0.1:1"
+        ])),
+        2,
+        "lookup with both sources"
+    );
+    assert_eq!(
+        exit_code(&memes(&["lookup", "--artifact", path])),
+        2,
+        "lookup without HASH"
+    );
+    assert_eq!(
+        exit_code(&memes(&["lookup", "zz", "--artifact", path])),
+        2,
+        "malformed hash"
+    );
+    assert_eq!(
+        exit_code(&memes(&[
+            "lookup",
+            medoid,
+            "--artifact",
+            "/no/such/artifact.json"
+        ])),
+        2,
+        "unloadable artifact"
+    );
+    assert_eq!(
+        exit_code(&memes(&["lookup", medoid, "--addr", "127.0.0.1:1"])),
+        2,
+        "unreachable server"
+    );
+    assert_eq!(
+        exit_code(&memes(&["serve", "--artifact", "/no/such/artifact.json"])),
+        2,
+        "serve with unloadable artifact"
+    );
+}
