@@ -2,8 +2,17 @@
 //!
 //! ```text
 //! memes-lint [--root DIR] [--baseline FILE] [--report FILE]
-//!            [--deny-new] [--fix-baseline] [--list-rules] [--quiet]
+//!            [--deny-new] [--fix-baseline] [--list-rules] [--timings]
+//!            [--quiet]
+//! memes-lint graph [--root DIR] [--out FILE]
 //! ```
+//!
+//! The `graph` subcommand dumps the pass-1 call graph (functions,
+//! resolved edges, unresolved calls) as schema-validated JSON —
+//! `callgraph.json` by convention — for CI archiving and offline
+//! inspection. `--timings` attaches per-rule `lint.rule.<id>.duration`
+//! wall-clock spans to the report; it is opt-in so the committed
+//! `lint-report.json` stays byte-stable.
 //!
 //! Exit codes follow the workspace convention ([`Exit`]): `0` clean,
 //! `1` violations (new findings under `--deny-new`, or any findings
@@ -11,62 +20,84 @@
 //! baseline, bad usage).
 
 use meme_analysis::error::Exit;
-use meme_analysis::{validate_lint_report, AnalysisError, Baseline, Engine};
+use meme_analysis::report::RuleTiming;
+use meme_analysis::{
+    validate_callgraph, validate_lint_report, AnalysisError, Baseline, CallGraph, Engine,
+};
+use meme_metrics::Metrics;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
+    graph: bool,
     root: PathBuf,
     baseline: PathBuf,
     report: PathBuf,
+    out: PathBuf,
     deny_new: bool,
     fix_baseline: bool,
     list_rules: bool,
+    timings: bool,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: memes-lint [--root DIR] [--baseline FILE] [--report FILE] \
-                     [--deny-new] [--fix-baseline] [--list-rules] [--quiet]";
+                     [--deny-new] [--fix-baseline] [--list-rules] [--timings] [--quiet]\n\
+                     \x20      memes-lint graph [--root DIR] [--out FILE]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut graph = false;
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut report: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
     let mut deny_new = false;
     let mut fix_baseline = false;
     let mut list_rules = false;
+    let mut timings = false;
     let mut quiet = false;
 
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
+    if it.peek().map(|a| a.as_str()) == Some("graph") {
+        graph = true;
+        it.next();
+    }
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--root" => {
+        match (arg.as_str(), graph) {
+            ("--root", _) => {
                 root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
-            "--baseline" => {
+            ("--out", true) => {
+                out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?));
+            }
+            ("--baseline", false) => {
                 baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
             }
-            "--report" => {
+            ("--report", false) => {
                 report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
             }
-            "--deny-new" => deny_new = true,
-            "--fix-baseline" => fix_baseline = true,
-            "--list-rules" => list_rules = true,
-            "--quiet" | "-q" => quiet = true,
-            "--help" | "-h" => return Err(USAGE.to_string()),
-            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            ("--deny-new", false) => deny_new = true,
+            ("--fix-baseline", false) => fix_baseline = true,
+            ("--list-rules", false) => list_rules = true,
+            ("--timings", false) => timings = true,
+            ("--quiet", _) | ("-q", _) => quiet = true,
+            ("--help", _) | ("-h", _) => return Err(USAGE.to_string()),
+            (other, _) => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
     if deny_new && fix_baseline {
         return Err("--deny-new and --fix-baseline are mutually exclusive".to_string());
     }
     Ok(Args {
+        graph,
         baseline: baseline.unwrap_or_else(|| root.join("lint-baseline.json")),
         report: report.unwrap_or_else(|| root.join("lint-report.json")),
+        out: out.unwrap_or_else(|| root.join("callgraph.json")),
         root,
         deny_new,
         fix_baseline,
         list_rules,
+        timings,
         quiet,
     })
 }
@@ -80,7 +111,12 @@ fn main() -> ExitCode {
             return Exit::Operational.into();
         }
     };
-    match run(&args) {
+    let result = if args.graph {
+        run_graph(&args)
+    } else {
+        run(&args)
+    };
+    match result {
         Ok(exit) => exit.into(),
         Err(e) => {
             eprintln!("memes-lint: {e}");
@@ -89,11 +125,44 @@ fn main() -> ExitCode {
     }
 }
 
+/// `memes-lint graph`: dump the pass-1 call graph.
+fn run_graph(args: &Args) -> Result<Exit, AnalysisError> {
+    use meme_analysis::context::FileContext;
+    use meme_analysis::symbols::WorkspaceModel;
+
+    let files = meme_analysis::walk_workspace(&args.root)?;
+    let ctxs: Vec<FileContext<'_>> = files.iter().map(FileContext::build).collect();
+    let model = WorkspaceModel::build(&ctxs);
+    let graph = CallGraph::from_model(&model, &ctxs);
+    let text = graph.to_json()?;
+    validate_callgraph(&text)?;
+    std::fs::write(&args.out, &text).map_err(|e| AnalysisError::io(&args.out, e))?;
+    if !args.quiet {
+        eprintln!(
+            "memes-lint: call graph: {} function(s), {} edge(s), {} unresolved \
+             (wrote {})",
+            graph.totals.functions,
+            graph.totals.edges,
+            graph.totals.unresolved,
+            args.out.display(),
+        );
+    }
+    Ok(Exit::Clean)
+}
+
 fn run(args: &Args) -> Result<Exit, AnalysisError> {
-    let engine = Engine::new();
+    let metrics = if args.timings {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
+    let engine = Engine::with_metrics(metrics.clone());
 
     if args.list_rules {
         for rule in engine.rules() {
+            println!("{:<28} {}", rule.id(), rule.summary());
+        }
+        for rule in engine.workspace_rules() {
             println!("{:<28} {}", rule.id(), rule.summary());
         }
         println!(
@@ -130,7 +199,10 @@ fn run(args: &Args) -> Result<Exit, AnalysisError> {
     }
 
     let baseline = Baseline::load(&args.baseline)?;
-    let report = engine.build_report(&run, &baseline);
+    let mut report = engine.build_report(&run, &baseline);
+    if args.timings {
+        report.timings = Some(collect_timings(&metrics));
+    }
 
     // Self-validate before writing: a malformed artifact must never
     // reach CI consumers.
@@ -175,4 +247,24 @@ fn run(args: &Args) -> Result<Exit, AnalysisError> {
     } else {
         Ok(Exit::Violations)
     }
+}
+
+/// Export the engine's `lint.*` spans from the metrics registry.
+fn collect_timings(metrics: &Metrics) -> Vec<RuleTiming> {
+    let Some(registry) = metrics.registry() else {
+        return Vec::new();
+    };
+    registry
+        .snapshot()
+        .spans
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("lint."))
+        .map(|(name, s)| RuleTiming {
+            name,
+            calls: s.calls,
+            total_secs: s.total_secs,
+            min_secs: s.min_secs,
+            max_secs: s.max_secs,
+        })
+        .collect()
 }

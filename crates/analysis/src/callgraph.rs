@@ -1,0 +1,399 @@
+//! The `callgraph.json` artifact and its schema validator.
+//!
+//! `memes-lint graph --out callgraph.json` dumps the pass-1 workspace
+//! model (see [`crate::symbols`]) so the CI archive carries the same
+//! graph the interprocedural rules ran on: every function with its
+//! qualification and annotations, every *resolved* edge with a call
+//! count, and every call the resolver declined to guess about. Like
+//! the lint report, the producer self-validates through an independent
+//! structural checker ([`validate_callgraph`]) before writing.
+
+use crate::context::FileContext;
+use crate::error::AnalysisError;
+use crate::symbols::{Unresolved, WorkspaceModel};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Schema version of `callgraph.json`; bump on incompatible change.
+pub const CALLGRAPH_SCHEMA_VERSION: u32 = 1;
+
+/// One function node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphFunction {
+    /// Node id — index into `functions`.
+    pub id: u32,
+    /// `crate::Type::name` / `crate::name` display form.
+    pub qualified: String,
+    /// Workspace-relative defining file.
+    pub file: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// 1-based column of the name.
+    pub col: u32,
+    /// File class (`lib`, `bin`, `test`, …).
+    pub class: String,
+    /// Whether the definition sits in test code.
+    pub is_test: bool,
+    /// Whether the doc comment declares `# Panics`.
+    pub panics_doc: bool,
+    /// Whether a `lint:hotpath` annotation is attached.
+    pub hotpath: bool,
+}
+
+/// One resolved caller→callee edge (call sites collapsed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphEdge {
+    /// Caller node id.
+    pub caller: u32,
+    /// Callee node id.
+    pub callee: u32,
+    /// 1-based line of the first call site.
+    pub line: u32,
+    /// 1-based column of the first call site.
+    pub col: u32,
+    /// Number of call sites collapsed into this edge.
+    pub count: u32,
+}
+
+/// One call the resolver recorded but did not resolve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphUnresolved {
+    /// Caller node id.
+    pub caller: u32,
+    /// Callee name as written.
+    pub name: String,
+    /// `bare` / `method` / `path`.
+    pub kind: String,
+    /// `ambiguous` (several workspace matches) or `unknown` (none).
+    pub reason: String,
+    /// 1-based line of the first occurrence.
+    pub line: u32,
+    /// 1-based column of the first occurrence.
+    pub col: u32,
+    /// Number of call sites collapsed into this entry.
+    pub count: u32,
+}
+
+/// Rollup counts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GraphTotals {
+    /// Function nodes.
+    pub functions: u32,
+    /// Resolved edges.
+    pub edges: u32,
+    /// Unresolved entries.
+    pub unresolved: u32,
+}
+
+/// The full `callgraph.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CallGraph {
+    /// Must equal [`CALLGRAPH_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Producing tool (`"memes-lint"`).
+    pub tool: String,
+    /// All function nodes, in (file, position) order.
+    pub functions: Vec<GraphFunction>,
+    /// Resolved edges, sorted by (caller, callee).
+    pub edges: Vec<GraphEdge>,
+    /// Unresolved calls, sorted by (caller, name, kind).
+    pub unresolved: Vec<GraphUnresolved>,
+    /// Rollup counts.
+    pub totals: GraphTotals,
+}
+
+impl CallGraph {
+    /// Project the workspace model into the dump form.
+    pub fn from_model(model: &WorkspaceModel, ctxs: &[FileContext<'_>]) -> Self {
+        let functions: Vec<GraphFunction> = model
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(id, f)| GraphFunction {
+                id: id as u32,
+                qualified: model.qualified(ctxs, id),
+                file: ctxs[f.file].file.path.clone(),
+                line: f.line,
+                col: f.col,
+                class: ctxs[f.file].file.class.name().to_string(),
+                is_test: f.is_test,
+                panics_doc: f.panics_doc,
+                hotpath: f.hotpath.is_some(),
+            })
+            .collect();
+
+        let mut edge_map: BTreeMap<(u32, u32), GraphEdge> = BTreeMap::new();
+        for (caller, _) in model.functions.iter().enumerate() {
+            for call in model.resolved_calls(caller) {
+                let callee = call.resolved.expect("resolved_calls filters") as u32;
+                edge_map
+                    .entry((caller as u32, callee))
+                    .and_modify(|e| e.count += 1)
+                    .or_insert(GraphEdge {
+                        caller: caller as u32,
+                        callee,
+                        line: call.line,
+                        col: call.col,
+                        count: 1,
+                    });
+            }
+        }
+        let edges: Vec<GraphEdge> = edge_map.into_values().collect();
+
+        let unresolved: Vec<GraphUnresolved> = model
+            .unresolved
+            .iter()
+            .map(|u| GraphUnresolved {
+                caller: u.caller as u32,
+                name: u.name.clone(),
+                kind: u.kind.clone(),
+                reason: match u.why {
+                    Unresolved::Ambiguous => "ambiguous".to_string(),
+                    Unresolved::Unknown => "unknown".to_string(),
+                },
+                line: u.line,
+                col: u.col,
+                count: u.count,
+            })
+            .collect();
+
+        let totals = GraphTotals {
+            functions: functions.len() as u32,
+            edges: edges.len() as u32,
+            unresolved: unresolved.len() as u32,
+        };
+        CallGraph {
+            schema_version: CALLGRAPH_SCHEMA_VERSION,
+            tool: "memes-lint".to_string(),
+            functions,
+            edges,
+            unresolved,
+            totals,
+        }
+    }
+
+    /// Serialize (pretty, trailing newline), self-validating first.
+    pub fn to_json(&self) -> Result<String, AnalysisError> {
+        let mut text =
+            serde_json::to_string_pretty(self).map_err(|e| AnalysisError::ReportInvalid {
+                detail: e.to_string(),
+            })?;
+        text.push('\n');
+        validate_callgraph(&text)?;
+        Ok(text)
+    }
+}
+
+/// Structurally validate a `callgraph.json` document, independently of
+/// the serde types that produced it.
+pub fn validate_callgraph(text: &str) -> Result<(), AnalysisError> {
+    let invalid = |detail: String| AnalysisError::ReportInvalid { detail };
+    let doc: Value = serde_json::from_str(text)
+        // lint:allow(untyped-error): invalid() wraps into AnalysisError::ReportInvalid
+        .map_err(|e| invalid(format!("not valid JSON: {e}")))?;
+    let root = doc
+        .as_object()
+        .ok_or_else(|| invalid("top level is not an object".into()))?;
+
+    let version = get(root, "schema_version")
+        .and_then(as_u64)
+        .ok_or_else(|| invalid("missing integer `schema_version`".into()))?;
+    if version != u64::from(CALLGRAPH_SCHEMA_VERSION) {
+        return Err(invalid(format!(
+            "schema_version {version} != supported {CALLGRAPH_SCHEMA_VERSION}"
+        )));
+    }
+    if get(root, "tool").and_then(Value::as_str) != Some("memes-lint") {
+        return Err(invalid("`tool` must be \"memes-lint\"".into()));
+    }
+
+    let functions = get(root, "functions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid("missing array `functions`".into()))?;
+    let n = functions.len() as u64;
+    for (i, f) in functions.iter().enumerate() {
+        let f = f
+            .as_object()
+            .ok_or_else(|| invalid(format!("functions[{i}] is not an object")))?;
+        match get(f, "id").and_then(as_u64) {
+            Some(id) if id == i as u64 => {}
+            other => {
+                return Err(invalid(format!(
+                    "functions[{i}]: `id` must equal the index, got {other:?}"
+                )))
+            }
+        }
+        for key in ["qualified", "file", "class"] {
+            if get(f, key).and_then(Value::as_str).is_none() {
+                return Err(invalid(format!("functions[{i}]: missing string `{key}`")));
+            }
+        }
+        for key in ["line", "col"] {
+            match get(f, key).and_then(as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(invalid(format!("functions[{i}]: `{key}` must be >= 1"))),
+            }
+        }
+        for key in ["is_test", "panics_doc", "hotpath"] {
+            if !matches!(get(f, key), Some(Value::Bool(_))) {
+                return Err(invalid(format!("functions[{i}]: missing bool `{key}`")));
+            }
+        }
+    }
+
+    let edges = get(root, "edges")
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid("missing array `edges`".into()))?;
+    for (i, e) in edges.iter().enumerate() {
+        let e = e
+            .as_object()
+            .ok_or_else(|| invalid(format!("edges[{i}] is not an object")))?;
+        for key in ["caller", "callee"] {
+            match get(e, key).and_then(as_u64) {
+                Some(id) if id < n => {}
+                other => {
+                    return Err(invalid(format!(
+                        "edges[{i}]: `{key}` must be a valid node id, got {other:?}"
+                    )))
+                }
+            }
+        }
+        for key in ["line", "col", "count"] {
+            match get(e, key).and_then(as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => return Err(invalid(format!("edges[{i}]: `{key}` must be >= 1"))),
+            }
+        }
+    }
+
+    let unresolved = get(root, "unresolved")
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid("missing array `unresolved`".into()))?;
+    for (i, u) in unresolved.iter().enumerate() {
+        let u = u
+            .as_object()
+            .ok_or_else(|| invalid(format!("unresolved[{i}] is not an object")))?;
+        match get(u, "caller").and_then(as_u64) {
+            Some(id) if id < n => {}
+            other => {
+                return Err(invalid(format!(
+                    "unresolved[{i}]: `caller` must be a valid node id, got {other:?}"
+                )))
+            }
+        }
+        if get(u, "name").and_then(Value::as_str).is_none() {
+            return Err(invalid(format!("unresolved[{i}]: missing string `name`")));
+        }
+        match get(u, "kind").and_then(Value::as_str) {
+            Some("bare" | "method" | "path") => {}
+            other => {
+                return Err(invalid(format!(
+                    "unresolved[{i}]: `kind` must be bare/method/path, got {other:?}"
+                )))
+            }
+        }
+        match get(u, "reason").and_then(Value::as_str) {
+            Some("ambiguous" | "unknown") => {}
+            other => {
+                return Err(invalid(format!(
+                    "unresolved[{i}]: `reason` must be ambiguous/unknown, got {other:?}"
+                )))
+            }
+        }
+        for key in ["line", "col", "count"] {
+            match get(u, key).and_then(as_u64) {
+                Some(v) if v >= 1 => {}
+                _ => {
+                    return Err(invalid(format!(
+                        "unresolved[{i}]: `{key}` must be >= 1"
+                    )))
+                }
+            }
+        }
+    }
+
+    let totals = get(root, "totals")
+        .and_then(Value::as_object)
+        .ok_or_else(|| invalid("missing object `totals`".into()))?;
+    let tget = |key: &str| {
+        get(totals, key)
+            .and_then(as_u64)
+            .ok_or_else(|| invalid(format!("missing integer `totals.{key}`")))
+    };
+    if tget("functions")? != n
+        || tget("edges")? != edges.len() as u64
+        || tget("unresolved")? != unresolved.len() as u64
+    {
+        return Err(invalid("totals inconsistent with arrays".into()));
+    }
+    Ok(())
+}
+
+fn get<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, t)| SourceFile::new(*p, *t))
+            .collect();
+        let ctxs: Vec<FileContext> = files.iter().map(FileContext::build).collect();
+        let model = WorkspaceModel::build(&ctxs);
+        CallGraph::from_model(&model, &ctxs)
+    }
+
+    #[test]
+    fn dump_roundtrips_and_validates() {
+        let g = graph_of(&[(
+            "crates/core/src/x.rs",
+            "fn a() { b(); b(); c.mystery(); }\nfn b() {}\n",
+        )]);
+        assert_eq!(g.functions.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].count, 2, "call sites collapse into one edge");
+        let text = g.to_json().unwrap();
+        validate_callgraph(&text).unwrap();
+        let back: CallGraph = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.totals.functions, 2);
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let files = [(
+            "crates/core/src/x.rs",
+            "fn a() { b(); }\nfn b() { a(); }\n",
+        )];
+        let t1 = graph_of(&files).to_json().unwrap();
+        let t2 = graph_of(&files).to_json().unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn bad_edge_ids_fail_validation() {
+        let g = graph_of(&[("crates/core/src/x.rs", "fn a() { b(); }\nfn b() {}\n")]);
+        let text = g
+            .to_json()
+            .unwrap()
+            .replace("\"callee\": 1", "\"callee\": 99");
+        assert!(validate_callgraph(&text).is_err());
+    }
+
+    #[test]
+    fn garbage_fails() {
+        assert!(validate_callgraph("not json").is_err());
+        assert!(validate_callgraph("{}").is_err());
+    }
+}

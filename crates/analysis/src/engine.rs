@@ -5,9 +5,13 @@ use crate::baseline::Baseline;
 use crate::context::FileContext;
 use crate::error::AnalysisError;
 use crate::report::{FindingStatus, Report, ReportFinding, RuleSummary, Totals};
-use crate::rules::{all_rule_ids, builtin_rules, Finding, Rule};
+use crate::rules::{
+    all_rule_ids, builtin_rules, workspace_rules, Finding, Rule, Workspace, WorkspaceRule,
+};
 use crate::source::{walk_workspace, SourceFile};
-use crate::suppress::parse_suppressions;
+use crate::suppress::{parse_suppressions, Suppression};
+use crate::symbols::WorkspaceModel;
+use meme_metrics::Metrics;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -23,6 +27,8 @@ pub struct LintRun {
 /// The engine: the rule registry plus the scan drivers.
 pub struct Engine {
     rules: Vec<Box<dyn Rule>>,
+    ws_rules: Vec<Box<dyn WorkspaceRule>>,
+    metrics: Metrics,
 }
 
 impl Default for Engine {
@@ -32,16 +38,32 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with the built-in registry.
+    /// An engine with the built-in registry and metrics disabled.
     pub fn new() -> Self {
         Self {
             rules: builtin_rules(),
+            ws_rules: workspace_rules(),
+            metrics: Metrics::disabled(),
         }
     }
 
-    /// The registered content rules.
+    /// An engine that records a `lint.rule.<id>.duration` span per rule
+    /// into `metrics` (used by `memes-lint --timings`).
+    pub fn with_metrics(metrics: Metrics) -> Self {
+        Self {
+            metrics,
+            ..Self::new()
+        }
+    }
+
+    /// The registered per-file content rules.
     pub fn rules(&self) -> &[Box<dyn Rule>] {
         &self.rules
+    }
+
+    /// The registered workspace (interprocedural) rules.
+    pub fn workspace_rules(&self) -> &[Box<dyn WorkspaceRule>] {
+        &self.ws_rules
     }
 
     /// Lint every workspace `.rs` file under `root`.
@@ -50,11 +72,62 @@ impl Engine {
         Ok(self.lint_files(&files))
     }
 
-    /// Lint an in-memory file set (tests, fixtures).
+    /// Lint a file set as one unit: per-file rules, then the pass-1
+    /// workspace model and the interprocedural rules, then `lint:allow`
+    /// application per file, then one global deterministic sort.
     pub fn lint_files(&self, files: &[SourceFile]) -> LintRun {
+        let ctxs: Vec<FileContext<'_>> = files.iter().map(FileContext::build).collect();
+        let sups: Vec<Vec<Suppression>> =
+            ctxs.iter().map(|c| parse_suppressions(&c.comments)).collect();
+
+        // Per-file rules, rule-outer so each rule gets one timing span
+        // covering the whole file set.
+        let mut raw: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+        for rule in &self.rules {
+            let span = self.metrics.span(&format!("lint.rule.{}.duration", rule.id()));
+            for (i, ctx) in ctxs.iter().enumerate() {
+                if rule.applies(ctx.file) {
+                    raw[i].extend(rule.check(ctx));
+                }
+            }
+            span.finish();
+        }
+
+        // Pass 1 (symbols, call graph, lock model), then pass 2.
+        let model = {
+            let span = self.metrics.span("lint.pass.workspace-model.duration");
+            let model = WorkspaceModel::build(&ctxs);
+            span.finish();
+            model
+        };
+        let ws = Workspace {
+            contexts: &ctxs,
+            model: &model,
+            suppressions: &sups,
+        };
+        let index_of: BTreeMap<&str, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.path.as_str(), i))
+            .collect();
+        for rule in &self.ws_rules {
+            let span = self.metrics.span(&format!("lint.rule.{}.duration", rule.id()));
+            for f in rule.check(&ws) {
+                // Workspace rules only ever report into scanned files.
+                if let Some(&i) = index_of.get(f.file.as_str()) {
+                    raw[i].push(f);
+                }
+            }
+            span.finish();
+        }
+
         let mut findings = Vec::new();
-        for file in files {
-            findings.extend(self.lint_source(file));
+        for (i, file) in files.iter().enumerate() {
+            findings.extend(apply_suppressions(
+                file,
+                std::mem::take(&mut raw[i]),
+                sups[i].clone(),
+            ));
         }
         findings.sort_by(|a, b| {
             (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
@@ -65,26 +138,27 @@ impl Engine {
         }
     }
 
-    /// Lint one file: run applicable rules, then apply `lint:allow`
-    /// suppressions; malformed or unused suppressions become findings
-    /// themselves.
+    /// Lint one file (tests, fixtures). Workspace rules run too, seeing
+    /// a one-file workspace.
     pub fn lint_source(&self, file: &SourceFile) -> Vec<Finding> {
-        let ctx = FileContext::build(file);
-        let mut raw: Vec<Finding> = Vec::new();
-        for rule in &self.rules {
-            if rule.applies(file) {
-                raw.extend(rule.check(&ctx));
-            }
-        }
+        self.lint_files(std::slice::from_ref(file)).findings
+    }
+}
 
-        let mut sups = parse_suppressions(&ctx.comments);
-        let valid_ids = all_rule_ids();
-        let mut out = Vec::new();
+/// Apply one file's `lint:allow` directives to its raw findings;
+/// malformed or unused suppressions become findings themselves.
+fn apply_suppressions(
+    file: &SourceFile,
+    raw: Vec<Finding>,
+    mut sups: Vec<Suppression>,
+) -> Vec<Finding> {
+    let valid_ids = all_rule_ids();
+    let mut out = Vec::new();
 
-        // Suppression hygiene first: unknown rules or a missing reason
-        // invalidate the directive (it suppresses nothing).
-        for s in &sups {
-            let unknown: Vec<&String> = s
+    // Suppression hygiene first: unknown rules or a missing reason
+    // invalidate the directive (it suppresses nothing).
+    for s in &sups {
+        let unknown: Vec<&String> = s
                 .rules
                 .iter()
                 .filter(|r| !valid_ids.contains(&r.as_str()))
@@ -150,9 +224,10 @@ impl Engine {
                 ));
             }
         }
-        out
-    }
+    out
+}
 
+impl Engine {
     /// Build the full report for a run diffed against a baseline.
     pub fn build_report(&self, run: &LintRun, baseline: &Baseline) -> Report {
         let (fresh, _known) = baseline.partition(&run.findings);
@@ -193,6 +268,13 @@ impl Engine {
                 count: per_rule.get(r.id()).copied().unwrap_or(0),
             })
             .collect();
+        for r in &self.ws_rules {
+            rules.push(RuleSummary {
+                id: r.id().to_string(),
+                summary: r.summary().to_string(),
+                count: per_rule.get(r.id()).copied().unwrap_or(0),
+            });
+        }
         for id in crate::rules::ENGINE_RULE_IDS {
             rules.push(RuleSummary {
                 id: id.to_string(),
@@ -229,6 +311,7 @@ impl Engine {
                 new,
                 grandfathered: total - new,
             },
+            timings: None,
         }
     }
 }
@@ -336,5 +419,35 @@ mod tests {
         assert_eq!(report.totals.new, 0);
         assert_eq!(report.totals.grandfathered, 1);
         report.to_json().unwrap();
+    }
+
+    #[test]
+    fn report_json_is_byte_stable_across_runs() {
+        // Workspace rules iterate graph structures; any hidden
+        // iteration-order dependence would churn the committed report.
+        // Exercise panic-reachable (cross-file) plus a content rule.
+        let files = [
+            SourceFile::new(
+                "crates/cluster/src/w.rs",
+                "/// # Panics\n/// Panics on empty input.\npub fn medoids(x: &[u64]) -> u64 {\n\
+                 // lint:allow(panic-in-pipeline): documented wrapper\n    x.first().unwrap() + 0\n}\n",
+            ),
+            SourceFile::new(
+                "crates/core/src/a.rs",
+                "pub fn stage(x: &[u64]) -> u64 { medoids(x) }\n\
+                 pub fn run(x: &[u64]) -> u64 { stage(x) + a.unwrap() }\n",
+            ),
+        ];
+        let engine = Engine::new();
+        let render = || {
+            let run = engine.lint_files(&files);
+            let baseline = Baseline::default();
+            engine.build_report(&run, &baseline).to_json().unwrap()
+        };
+        let first = render();
+        assert!(first.contains("panic-reachable"), "fixture should trip the ws rule");
+        for _ in 0..3 {
+            assert_eq!(first, render(), "report JSON must be byte-stable");
+        }
     }
 }

@@ -600,4 +600,87 @@ mod tests {
         assert_eq!(toks[0].0, TokenKind::Str);
         assert_eq!(toks[1].0, TokenKind::Char);
     }
+
+    #[test]
+    fn raw_string_multi_hash_ignores_inner_quote_hash() {
+        // `"#` inside an `r##`-string is body text, not a terminator.
+        let out = lex(r###"let s = r##"x"#y"##; z"###);
+        let s = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("one string");
+        assert!(s.text.contains("x\"#y"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("z")));
+    }
+
+    #[test]
+    fn raw_string_swallows_comment_markers() {
+        // Comment openers inside a raw string must not start comments,
+        // and a lint:allow inside one must not register as a comment.
+        let out = lex(r##"let s = r#"// lint:allow(float-eq): nope /* block */"#; y"##);
+        assert!(out.comments.is_empty());
+        assert!(out.tokens.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn raw_string_zero_hashes_and_raw_byte_string() {
+        let out = lex(r##"r"plain raw" br#"bytes "quoted""#"##);
+        let strs: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("plain raw"));
+        assert!(strs[1].contains("bytes \"quoted\""));
+    }
+
+    #[test]
+    fn unterminated_raw_string_consumes_to_eof_without_panic() {
+        let out = lex(r##"let s = r#"never closed"##); // missing final #
+        assert_eq!(
+            out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn deeply_nested_block_comment_balances() {
+        let out = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ after");
+        let texts: Vec<&str> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["after"]);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("3"));
+    }
+
+    #[test]
+    fn block_comment_ignores_line_comment_and_string_markers_inside() {
+        // `//` and `"` inside a block comment are plain text; the
+        // comment still closes at the matching `*/`.
+        let out = lex("/* // \" unclosed quote */ x\ny");
+        let texts: Vec<&str> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["x", "y"]);
+        assert_eq!(out.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_consumes_to_eof() {
+        let out = lex("/* outer /* inner */ still open\nx");
+        // `x` is inside the never-closed outer comment, not a token.
+        assert!(out.tokens.is_empty());
+        assert_eq!(out.comments.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_raw_strings_and_comment_interleave() {
+        // Positions after multi-line raw strings stay correct, so a
+        // following lint:allow lands on the right line.
+        let out = lex("let a = r#\"line1\nline2\"#;\n// lint:allow(float-eq): why\nlet b = 1.0;");
+        let c = &out.comments[0];
+        assert_eq!(c.line, 3);
+        let b = out.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 4);
+    }
 }

@@ -15,8 +15,13 @@
 //!   (lib/bin/test/bench/build).
 //! - [`context`] — per-file analysis context incl. `#[cfg(test)]`
 //!   region detection.
-//! - [`rules`] — the [`rules::Rule`] registry (six content rules plus
+//! - [`rules`] — the [`rules::Rule`] registry (six per-file content
+//!   rules, three interprocedural [`rules::WorkspaceRule`]s, plus
 //!   engine-level suppression hygiene).
+//! - [`symbols`] — pass 1: symbol table, best-effort call graph, and
+//!   lock model built from the token stream (DESIGN.md §13).
+//! - [`callgraph`] — `memes-lint graph`: the schema-validated
+//!   `callgraph.json` dump of the pass-1 model.
 //! - [`suppress`] — `// lint:allow(<rule>): <reason>` directives.
 //! - [`baseline`] — the checked-in ratchet (`lint-baseline.json`).
 //! - [`report`] — `lint-report.json` plus its independent schema
@@ -24,6 +29,7 @@
 //! - [`engine`] — ties it together.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
 pub mod engine;
 pub mod error;
@@ -32,10 +38,15 @@ pub mod report;
 pub mod rules;
 pub mod source;
 pub mod suppress;
+pub mod symbols;
 
 pub use baseline::{Baseline, BaselineEntry, BASELINE_SCHEMA_VERSION};
+pub use callgraph::{validate_callgraph, CallGraph, CALLGRAPH_SCHEMA_VERSION};
 pub use engine::{Engine, LintRun};
 pub use error::{AnalysisError, Exit};
 pub use report::{validate_lint_report, Report, REPORT_SCHEMA_VERSION};
-pub use rules::{all_rule_ids, builtin_rules, Finding, Rule};
+pub use rules::{
+    all_rule_ids, builtin_rules, workspace_rules, Finding, Rule, Workspace, WorkspaceRule,
+};
 pub use source::{walk_workspace, FileClass, SourceFile};
+pub use symbols::WorkspaceModel;

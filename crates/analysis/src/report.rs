@@ -99,6 +99,24 @@ pub struct RuleSummary {
     pub count: u32,
 }
 
+/// Wall-clock timing of one `lint.rule.<id>.duration` span, exported
+/// from the meme-metrics registry when `--timings` is passed. Omitted
+/// (serialized as `null`) by default so the committed report stays
+/// byte-stable run to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleTiming {
+    /// Span path, e.g. `lint.rule.panic-reachable.duration`.
+    pub name: String,
+    /// Number of times the span ran (1 per lint invocation).
+    pub calls: u64,
+    /// Total seconds across all calls.
+    pub total_secs: f64,
+    /// Fastest single call.
+    pub min_secs: f64,
+    /// Slowest single call.
+    pub max_secs: f64,
+}
+
 /// Totals across the run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Totals {
@@ -126,6 +144,9 @@ pub struct Report {
     pub findings: Vec<ReportFinding>,
     /// Rollup counts.
     pub totals: Totals,
+    /// Per-rule wall-clock timings; `None` (wire: `null`) unless the
+    /// run asked for them, keeping the default report deterministic.
+    pub timings: Option<Vec<RuleTiming>>,
 }
 
 impl Report {
@@ -233,6 +254,42 @@ pub fn validate_lint_report(text: &str) -> Result<(), AnalysisError> {
             findings.len()
         )));
     }
+
+    // `timings` is optional: absent or null when the run did not ask
+    // for them, else an array of span rollups.
+    match get(root, "timings") {
+        None | Some(Value::Null) => {}
+        Some(Value::Array(spans)) => {
+            for (i, s) in spans.iter().enumerate() {
+                let s = s
+                    .as_object()
+                    .ok_or_else(|| invalid(format!("timings[{i}] is not an object")))?;
+                match get(s, "name").and_then(Value::as_str) {
+                    Some(name) if name.starts_with("lint.") => {}
+                    _ => {
+                        return Err(invalid(format!(
+                            "timings[{i}]: `name` must be a string starting with \"lint.\""
+                        )))
+                    }
+                }
+                match get(s, "calls").and_then(as_u64) {
+                    Some(c) if c >= 1 => {}
+                    _ => return Err(invalid(format!("timings[{i}]: `calls` must be >= 1"))),
+                }
+                for key in ["total_secs", "min_secs", "max_secs"] {
+                    match get(s, key).and_then(as_f64) {
+                        Some(v) if v >= 0.0 => {}
+                        _ => {
+                            return Err(invalid(format!(
+                                "timings[{i}]: `{key}` must be a non-negative number"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Some(_) => return Err(invalid("`timings` must be null or an array".into())),
+    }
     Ok(())
 }
 
@@ -245,6 +302,15 @@ fn get<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
 fn as_u64(v: &Value) -> Option<u64> {
     match v {
         Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
         _ => None,
     }
 }
@@ -277,7 +343,27 @@ mod tests {
                 new: 0,
                 grandfathered: 1,
             },
+            timings: None,
         }
+    }
+
+    #[test]
+    fn timings_serialize_as_null_by_default_and_validate_when_present() {
+        let text = sample().to_json().unwrap();
+        assert!(text.contains("\"timings\": null"), "{text}");
+
+        let mut r = sample();
+        r.timings = Some(vec![RuleTiming {
+            name: "lint.rule.float-eq.duration".into(),
+            calls: 1,
+            total_secs: 0.0021,
+            min_secs: 0.0021,
+            max_secs: 0.0021,
+        }]);
+        r.to_json().unwrap();
+
+        let bad = text.replace("\"timings\": null", "\"timings\": 7");
+        assert!(validate_lint_report(&bad).is_err());
     }
 
     #[test]

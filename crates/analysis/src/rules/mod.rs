@@ -6,9 +6,12 @@
 //! test mask — and return [`Finding`]s; the engine applies suppressions
 //! and the baseline afterwards.
 
+mod alloc_in_hotpath;
 mod float_eq;
+mod lock_order;
 mod nondeterministic_iteration;
 mod panic_in_pipeline;
+mod panic_reachable;
 mod unseeded_rng;
 mod untyped_error;
 mod wallclock;
@@ -16,6 +19,8 @@ mod wallclock;
 use crate::context::FileContext;
 use crate::lexer::{Token, TokenKind};
 use crate::source::SourceFile;
+use crate::suppress::Suppression;
+use crate::symbols::WorkspaceModel;
 use serde::{Deserialize, Serialize};
 
 /// One diagnostic produced by a rule.
@@ -83,13 +88,60 @@ pub fn builtin_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
+/// A workspace-scoped (interprocedural) rule: sees the whole pass-1
+/// model — every file's tokens plus the call graph and lock model —
+/// instead of one file at a time. Findings still land in concrete
+/// files, so suppression and the baseline apply unchanged.
+pub trait WorkspaceRule: Sync + Send {
+    /// Stable kebab-case id (used in `lint:allow(...)` and the baseline).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the report.
+    fn summary(&self) -> &'static str;
+    /// Scan the whole workspace.
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Finding>;
+}
+
+/// Pass-2 view handed to [`WorkspaceRule`]s: the per-file contexts,
+/// the pass-1 [`WorkspaceModel`], and each file's parsed suppressions
+/// (so rules that model suppression semantics — `panic-reachable`'s
+/// edge cutting — see exactly what the engine will honor).
+pub struct Workspace<'a> {
+    /// One context per scanned file, in workspace walk order.
+    pub contexts: &'a [FileContext<'a>],
+    /// The symbol table, call graph, and lock model.
+    pub model: &'a WorkspaceModel,
+    /// Parsed suppressions, parallel to `contexts`.
+    pub suppressions: &'a [Vec<Suppression>],
+}
+
+impl Workspace<'_> {
+    /// Whether a `lint:allow(rule)` with a reason covers `line` in the
+    /// file at context index `file_idx` — the same predicate the engine
+    /// applies when silencing findings.
+    pub fn is_suppressed(&self, file_idx: usize, rule: &str, line: u32) -> bool {
+        self.suppressions[file_idx]
+            .iter()
+            .any(|s| s.reason.is_some() && s.covers(rule, line))
+    }
+}
+
+/// The three interprocedural rules, in catalog order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(panic_reachable::PanicReachable),
+        Box::new(lock_order::LockOrder),
+        Box::new(alloc_in_hotpath::AllocInHotpath),
+    ]
+}
+
 /// Engine-level rule ids (suppression hygiene); valid in `lint:allow`
 /// checks even though they are not content rules.
 pub const ENGINE_RULE_IDS: [&str; 2] = ["invalid-suppression", "unused-suppression"];
 
-/// Every valid rule id (content + engine).
+/// Every valid rule id (content + workspace + engine).
 pub fn all_rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = builtin_rules().iter().map(|r| r.id()).collect();
+    ids.extend(workspace_rules().iter().map(|r| r.id()));
     ids.extend(ENGINE_RULE_IDS);
     ids
 }

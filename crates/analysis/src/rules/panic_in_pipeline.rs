@@ -17,11 +17,12 @@ use crate::context::FileContext;
 use crate::lexer::TokenKind;
 use crate::source::{FileClass, SourceFile};
 
-/// Crates whose lib code must stay panic-free.
-const SCOPED_CRATES: [&str; 5] = ["core", "index", "annotate", "cluster", "serve"];
+/// Crates whose lib code must stay panic-free. Shared with the
+/// interprocedural `panic-reachable` rule so both scope identically.
+pub(crate) const SCOPED_CRATES: [&str; 5] = ["core", "index", "annotate", "cluster", "serve"];
 
-/// Panicking macros.
-const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking macros. Shared with `panic-reachable`'s source detection.
+pub(crate) const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 pub struct PanicInPipeline;
 

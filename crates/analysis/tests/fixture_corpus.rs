@@ -24,6 +24,35 @@ const FIXTURES: [(&str, &str); 7] = [
     ("suppressions", "crates/core/src/fixture.rs"),
 ];
 
+/// Multi-file fixture sets under `tests/fixtures/workspace/<rule>/`:
+/// (rule directory, [(file name, synthetic workspace path)]). The set
+/// is linted as ONE unit through `Engine::lint_files`, so cross-file
+/// resolution, edge-cutting suppressions, and transitive closures are
+/// all exercised; markers are matched exactly per file.
+const MULTI_FIXTURES: [(&str, &[(&str, &str)]); 3] = [
+    (
+        "panic-reachable",
+        &[
+            ("cluster.rs", "crates/cluster/src/fixture_cluster.rs"),
+            ("pipeline.rs", "crates/core/src/fixture_pipeline.rs"),
+        ],
+    ),
+    (
+        "lock-order",
+        &[
+            ("queue.rs", "crates/serve/src/fixture_queue.rs"),
+            ("store.rs", "crates/serve/src/fixture_store.rs"),
+        ],
+    ),
+    (
+        "alloc-in-hotpath",
+        &[
+            ("index.rs", "crates/index/src/fixture_index.rs"),
+            ("serve.rs", "crates/serve/src/fixture_serve.rs"),
+        ],
+    ),
+];
+
 fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
@@ -131,6 +160,93 @@ fn bad_fixtures_match_their_markers_exactly() {
                 want.line,
                 want.rule,
                 want.col,
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_file_fixtures_match_their_markers_exactly() {
+    let root = fixture_root().join("workspace");
+    for (dir, files) in MULTI_FIXTURES {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(name, synthetic)| {
+                let path = root.join(dir).join(name);
+                let text = fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+                SourceFile::new(*synthetic, text)
+            })
+            .collect();
+
+        // Expected (synthetic file, line, rule, col?) from the markers
+        // of every file in the set.
+        let mut want: Vec<(String, u32, String, Option<u32>)> = Vec::new();
+        for ((_, synthetic), src) in files.iter().zip(&sources) {
+            for m in parse_markers(&src.text) {
+                want.push((synthetic.to_string(), m.line, m.rule, m.col));
+            }
+        }
+        assert!(!want.is_empty(), "workspace/{dir} declares no markers");
+
+        let run = Engine::new().lint_files(&sources);
+        let rendered = run
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}:{}:{}: [{}] {}",
+                    f.file, f.line, f.col, f.rule, f.message
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let mut got_pairs: Vec<(String, u32, String)> = run
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+            .collect();
+        let mut want_pairs: Vec<(String, u32, String)> = want
+            .iter()
+            .map(|(file, line, rule, _)| (file.clone(), *line, rule.clone()))
+            .collect();
+        got_pairs.sort();
+        want_pairs.sort();
+        assert_eq!(
+            want_pairs, got_pairs,
+            "workspace/{dir} marker mismatch; linter said:\n{rendered}"
+        );
+
+        for (file, line, rule, col) in want.iter().filter(|(_, _, _, c)| c.is_some()) {
+            assert!(
+                run.findings.iter().any(|f| f.file == *file
+                    && f.line == *line
+                    && f.rule == *rule
+                    && Some(f.col) == *col),
+                "workspace/{dir} {file}:{line}: expected [{rule}] at column {col:?}, \
+                 linter said:\n{rendered}",
+            );
+        }
+    }
+}
+
+#[test]
+fn every_workspace_rule_has_a_multi_file_fixture() {
+    for rule in meme_analysis::workspace_rules() {
+        assert!(
+            MULTI_FIXTURES.iter().any(|(dir, _)| *dir == rule.id()),
+            "workspace rule `{}` is missing its multi-file fixture set",
+            rule.id()
+        );
+    }
+    let root = fixture_root().join("workspace");
+    for (dir, files) in MULTI_FIXTURES {
+        assert!(files.len() >= 2, "workspace/{dir} should span several files");
+        for (name, _) in files {
+            assert!(
+                root.join(dir).join(name).is_file(),
+                "workspace/{dir}/{name} is missing"
             );
         }
     }

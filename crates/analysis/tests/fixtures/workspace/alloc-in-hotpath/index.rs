@@ -1,0 +1,55 @@
+//! Multi-file fixture: hot-path allocation discipline, index side.
+//! Covers a direct allocation in an annotated root, an allocation in a
+//! transitively reached helper, a reviewed (suppressed) amortized
+//! allocation, a malformed reason-less annotation, and a helper that
+//! is only hot through the cross-file root in `serve.rs`.
+
+pub struct Flat {
+    hashes: Vec<u64>,
+}
+
+impl Flat {
+    /// Radius query into a caller buffer — the workspace hot-path shape.
+    // lint:hotpath(per-query scan; scratch is caller-provided)
+    pub fn radius_query_into(&self, q: u64, out: &mut Vec<usize>) {
+        out.clear();
+        let label = format!("{q:x}"); //~ alloc-in-hotpath
+        for (i, h) in self.hashes.iter().enumerate() {
+            if distance_label(*h, &label) == 0 {
+                out.push(i);
+            }
+        }
+    }
+}
+
+/// Helper reached from the hot path: its allocations count too.
+pub fn distance_label(h: u64, label: &str) -> u32 {
+    let owned = label.to_string(); //~ alloc-in-hotpath
+    (h ^ owned.len() as u64).count_ones()
+}
+
+/// Amortized allocation, reviewed and suppressed at the site.
+// lint:hotpath(startup-amortized warm cache)
+pub fn warm_cache(n: usize) -> Vec<u64> {
+    // lint:allow(alloc-in-hotpath): one-time warm-up fill, amortized across the query stream
+    vec![0; n]
+}
+
+/// Malformed annotation: the reason is the per-item budget statement,
+/// so omitting it is itself a finding at the annotation site.
+// lint:hotpath() //~ alloc-in-hotpath
+pub fn unbudgeted(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+/// Only hot through `serve.rs`'s `lookup` root — the finding's chain
+/// crosses the crate boundary.
+pub fn flat_scan(q: u64, hashes: &[u64]) -> Vec<usize> {
+    let hits: Vec<usize> = hashes
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| **h == q)
+        .map(|(i, _)| i)
+        .collect(); //~ alloc-in-hotpath
+    hits
+}

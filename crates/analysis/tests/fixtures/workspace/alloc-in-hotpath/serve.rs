@@ -1,0 +1,11 @@
+//! Multi-file fixture: hot-path allocation discipline, serving side.
+//! The `lookup` root reaches `flat_scan` in `index.rs`, so that
+//! helper's allocation is flagged with a cross-crate chain.
+
+/// Steady-state serving lookup: per-query path.
+// lint:hotpath(steady-state lookup)
+pub fn lookup(q: u64, hashes: &[u64]) -> Option<usize> {
+    let mut out = Vec::new(); //~ alloc-in-hotpath
+    out.extend(flat_scan(q, hashes));
+    out.first().copied()
+}

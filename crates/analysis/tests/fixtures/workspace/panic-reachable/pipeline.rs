@@ -1,0 +1,43 @@
+//! Multi-file fixture, caller side: functions reaching the panicking
+//! wrappers in `cluster.rs` across the crate boundary.
+
+/// Direct caller of a documented panicking wrapper: flagged.
+pub fn cluster_stage(neighbors: &[Vec<usize>]) -> Vec<isize> {
+    dbscan_with_index(neighbors, 4) //~ panic-reachable @ 5
+}
+
+/// Transitive caller: flagged one hop up as well, with the chain
+/// rendered through `cluster_stage`.
+pub fn run_all(neighbors: &[Vec<usize>]) -> usize {
+    cluster_stage(neighbors).len() //~ panic-reachable @ 5
+}
+
+/// Reviewed absorption: the lint:allow both silences the finding here
+/// and cuts the edge, so `audited_entry` below stays clean.
+pub fn audited_stage(labels: &[usize]) -> Vec<usize> {
+    // lint:allow(panic-reachable): labels come straight from dbscan, so every cluster has members
+    medoids(labels)
+}
+
+/// Caller of the absorbing function: clean.
+pub fn audited_entry(labels: &[usize]) -> usize {
+    audited_stage(labels).len()
+}
+
+/// Unresolved call: the helper is defined nowhere in the workspace
+/// model, so the rule must not guess — clean.
+pub fn mystery_stage(labels: &[usize]) -> usize {
+    helper_from_elsewhere(labels)
+}
+
+/// An unsuppressed unwrap makes this function a panic *source*:
+/// `panic-in-pipeline` owns the site itself, `panic-reachable` flags
+/// only the callers.
+pub fn shaky_parse(raw: &str) -> usize {
+    raw.parse().unwrap() //~ panic-in-pipeline @ 17
+}
+
+/// Caller of an undocumented source: flagged.
+pub fn shaky_entry(raw: &str) -> usize {
+    shaky_parse(raw) //~ panic-reachable @ 5
+}

@@ -109,6 +109,7 @@ pub fn annotate_clusters(medoids: &[PHash], site: &KymSite, theta: u32) -> Vec<C
             owner.push(entry.id);
         }
     }
+    // lint:allow(panic-reachable): theta is a hash-distance threshold bounded far below MihIndex::new's 64-band limit
     let index = MihIndex::new(gallery_hashes, theta);
 
     medoids

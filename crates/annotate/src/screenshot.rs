@@ -87,6 +87,7 @@ impl SourcePlatform {
 pub fn render_screenshot(platform: SourcePlatform, size: usize, rng: &mut WsRng) -> Image {
     assert!(size >= 16, "screenshots need at least 16x16 pixels");
     let (bg, accent) = platform.palette();
+    // lint:allow(panic-reachable): size >= 16 is asserted above, so the canvas dimensions are non-zero
     let mut img = Image::filled(size, size, bg);
     let text_tone = bg - 0.65;
 
@@ -358,6 +359,7 @@ impl ScreenshotFilter {
             });
         }
         let labels: Vec<usize> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+        // lint:allow(panic-reachable): the corpus split keeps both classes and aligned score/label lengths, satisfying from_scores' contract
         let metrics = ClassifierMetrics::from_scores(&scores, &labels);
         Ok((Self { cnn }, metrics))
     }

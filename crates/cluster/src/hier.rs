@@ -59,6 +59,7 @@ impl Dendrogram {
         let mut dist = vec![f64::INFINITY; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
+                // lint:allow(panic-reachable): the loop bounds enforce i < j < n, condensed_index's documented precondition
                 let d = condensed[condensed_index(n, i, j)];
                 dist[i * n + j] = d;
                 dist[j * n + i] = d;

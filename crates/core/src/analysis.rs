@@ -147,9 +147,12 @@ pub fn cluster_community(
     // Same collapsed path as the pipeline's cluster stage: index the
     // distinct hashes only, expand through the owner table.
     let groups = HashGroups::new(&hashes);
+    // lint:allow(panic-reachable): eps is a hash-distance threshold far below MihIndex::new's 64-band limit
     let index = MihIndex::new(groups.unique().to_vec(), params.eps);
     let (neighbors, _) = symmetric_neighbors(&index, &groups, params.eps, threads);
+    // lint:allow(panic-reachable): min_pts >= 1 comes from validated clustering parameters; dbscan's contract holds
     let clustering = dbscan(&neighbors, params.min_pts);
+    // lint:allow(panic-reachable): the clustering comes straight from dbscan, so every cluster id has members
     let medoid_positions = clustering.medoids(&hashes);
     let medoid_hashes: Vec<PHash> = medoid_positions.iter().map(|&p| hashes[p]).collect();
     let medoid_posts: Vec<usize> = medoid_positions.iter().map(|&p| post_indices[p]).collect();
@@ -536,11 +539,13 @@ pub fn eps_sweep(
     // One collapse + one index (at the sweep's largest radius) serve
     // every eps value; only the pair sweep reruns per row.
     let groups = HashGroups::new(&hashes);
+    // lint:allow(panic-reachable): max_eps is a hash-distance threshold far below MihIndex::new's 64-band limit
     let index = MihIndex::new(groups.unique().to_vec(), max_eps);
     eps_values
         .iter()
         .map(|&eps| {
             let (neighbors, _) = symmetric_neighbors(&index, &groups, eps, threads);
+            // lint:allow(panic-reachable): min_pts >= 1 comes from validated sweep parameters; dbscan's contract holds
             let clustering = dbscan(&neighbors, min_pts);
             let fp = cluster_false_positive_fractions(&clustering, &truth);
             let purity = meme_cluster::purity::majority_purity(&clustering, &truth);

@@ -725,9 +725,11 @@ impl Pipeline {
             crossbeam::thread::scope(|s| {
                 for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
                     s.spawn(move |_| {
+                        // lint:allow(panic-reachable): new() uses the default hash/DCT sizes, which satisfy with_sizes' contract
                         let hasher = PerceptualHasher::new();
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
                             let post = &dataset.posts[chunk_id * chunk_len + off];
+                            // lint:allow(panic-reachable): post canvases render at fixed non-zero dimensions, so Image::filled's contract holds
                             *slot = hasher.hash(&dataset.render_post_image(post));
                         }
                     });
@@ -747,6 +749,7 @@ impl Pipeline {
                 .zip(verdicts.chunks_mut(chunk_len))
             {
                 s.spawn(move |_| {
+                    // lint:allow(panic-reachable): new() uses the default hash/DCT sizes, which satisfy with_sizes' contract
                     let hasher = PerceptualHasher::new();
                     for (off, (slot, verdict)) in slot_chunk
                         .iter_mut()
@@ -757,6 +760,7 @@ impl Pipeline {
                         *verdict = faults.item_fault(StageId::Hash, i, attempt);
                         if *verdict == ItemFault::Pass {
                             let post = &dataset.posts[i];
+                            // lint:allow(panic-reachable): post canvases render at fixed non-zero dimensions, so Image::filled's contract holds
                             *slot = hasher.hash(&dataset.render_post_image(post));
                         }
                         // Faulted items keep the PHash::default() sentinel.
@@ -817,6 +821,7 @@ impl Pipeline {
             ScreenshotFilterMode::Oracle => Some((None, None)),
             ScreenshotFilterMode::Off => None,
         };
+        // lint:allow(panic-reachable): new() uses the default hash/DCT sizes, which satisfy with_sizes' contract
         let hasher = PerceptualHasher::new();
         let mut entries = Vec::with_capacity(dataset.kym_raw.entries.len());
         let mut meme_ids = Vec::with_capacity(dataset.kym_raw.entries.len());
@@ -826,9 +831,11 @@ impl Pipeline {
                 let keep = match &filter {
                     None => true,                          // Off: keep everything
                     Some((None, _)) => !g.is_screenshot(), // Oracle
+                    // lint:allow(panic-reachable): gallery canvases render at fixed non-zero dimensions with validated jitter fractions
                     Some((Some(f), _)) => !f.is_screenshot(&dataset.render_gallery_image(g)),
                 };
                 if keep {
+                    // lint:allow(panic-reachable): gallery canvases render at fixed non-zero dimensions with validated jitter fractions
                     gallery.push(hasher.hash(&dataset.render_gallery_image(g)));
                 }
             }
@@ -1057,6 +1064,7 @@ impl PipelineOutput {
         threads: usize,
     ) -> Result<ClusterInfluence, PipelineError> {
         let streams = self.try_all_cluster_events(dataset)?;
+        // lint:allow(panic-reachable): estimate validates event streams before EM, so parent_probabilities' contract holds
         Ok(estimator.estimate(&streams, dataset.horizon(), threads)?)
     }
 
@@ -1086,7 +1094,9 @@ impl PipelineOutput {
         metrics: &Metrics,
     ) -> (ClusterInfluence, Vec<Degradation>) {
         let span = metrics.span("pipeline/influence");
+        // lint:allow(panic-reachable): this output was produced by the running pipeline, not a deserialized checkpoint; cluster ids are in range
         let streams = self.all_cluster_events(dataset);
+        // lint:allow(panic-reachable): estimate_robust downgrades bad fits to degradations; parent_probabilities' contract holds for surviving streams
         let robust = estimator.estimate_robust(&streams, dataset.horizon(), threads);
         let elapsed = span.finish();
         let annotated = self.annotated_clusters();

@@ -204,6 +204,7 @@ pub fn caption_analysis(dataset: &Dataset, output: &PipelineOutput) -> CaptionAn
     let mut actual = Vec::with_capacity(annotated.len());
     for &cluster in &annotated {
         let post = &dataset.posts[output.medoid_posts[cluster]];
+        // lint:allow(panic-reachable): post canvases are rendered at fixed non-zero dimensions, so Image::filled's contract holds
         let img = dataset.render_post_image(post);
         detected.push(detector.detect(&img).any());
         let truth = post.true_variant().is_some_and(|(meme, variant)| {

@@ -82,7 +82,9 @@ pub fn simulate_branching<R: Rng + ?Sized>(
 
     // Immigrants: Poisson(mu_k * horizon) events, uniform on [0, horizon).
     for proc in 0..k {
-        if model.mu[proc] == 0.0 {
+        // Rates are validated non-negative, so an ordering compare is
+        // the round-off-robust form of the "process absent" test.
+        if model.mu[proc] <= 0.0 {
             continue;
         }
         let n = Poisson::new(model.mu[proc] * horizon)
@@ -104,7 +106,8 @@ pub fn simulate_branching<R: Rng + ?Sized>(
         let (t0, src) = (arena[cursor].t, arena[cursor].process);
         for dst in 0..k {
             let w = model.w[src][dst];
-            if w == 0.0 {
+            // Stationary weights are non-negative; see the mu guard.
+            if w <= 0.0 {
                 continue;
             }
             let n = Poisson::new(w).expect("validated weight").sample(rng);

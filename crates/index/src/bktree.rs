@@ -141,6 +141,7 @@ impl HammingIndex for BkTreeIndex {
         out
     }
 
+    // lint:hotpath(per-query BK-tree walk; reuses the caller's scratch stack)
     fn radius_query_into(
         &self,
         query: PHash,

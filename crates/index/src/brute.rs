@@ -42,6 +42,7 @@ impl HammingIndex for BruteForceIndex {
             .collect()
     }
 
+    // lint:hotpath(per-query linear scan; must not allocate per call)
     fn radius_query_into(
         &self,
         query: PHash,

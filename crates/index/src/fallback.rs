@@ -187,6 +187,7 @@ impl FallbackIndex {
     pub fn build(hashes: Vec<PHash>, radius: u32) -> Self {
         let (engine, rejections) = Self::plan(&hashes, radius);
         let backend = match engine {
+            // lint:allow(panic-reachable): plan() selects MIH only for radius < 64 and in-u32 gallery sizes, so new()'s contract holds
             IndexEngine::Mih => Backend::Mih(MihIndex::new(hashes, radius)),
             IndexEngine::BkTree => Backend::Bk(BkTreeIndex::new(hashes)),
             IndexEngine::BruteForce => Backend::Brute(BruteForceIndex::new(hashes)),
@@ -238,6 +239,7 @@ impl HammingIndex for FallbackIndex {
         }
     }
 
+    // lint:hotpath(per-query radius lookup; dispatch must stay allocation-free)
     fn radius_query_into(
         &self,
         query: PHash,

@@ -334,6 +334,7 @@ impl HammingIndex for MihIndex {
         out
     }
 
+    // lint:hotpath(per-query banded candidate scan; the scratch buffers amortize allocation)
     fn radius_query_into(
         &self,
         query: PHash,

@@ -223,6 +223,7 @@ impl Snapshot {
     /// no medoid is close enough. Deterministic tie-break: smallest
     /// distance first, then smallest cluster id — independent of engine
     /// and thread count. Steady-state calls allocate nothing.
+    // lint:hotpath(steady-state per-query lookup; allocation belongs in the caller-provided scratch)
     pub fn lookup(&self, query: PHash, scratch: &mut ServeScratch) -> Option<LookupHit> {
         self.index
             .radius_query_into(query, self.theta, &mut scratch.query, &mut scratch.matches);

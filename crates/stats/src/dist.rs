@@ -95,7 +95,9 @@ impl Poisson {
 
 impl Distribution<u64> for Poisson {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        if self.mu == 0.0 {
+        // mu is validated finite and >= 0 at construction; the ordering
+        // compare avoids an exact float-equality sentinel.
+        if self.mu <= 0.0 {
             return 0;
         }
         if self.mu < 30.0 {
@@ -291,7 +293,10 @@ impl Distribution<f64> for Beta {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let x = self.a.sample(rng);
         let y = self.b.sample(rng);
-        if x + y == 0.0 {
+        // Gamma samples are non-negative, so the degenerate case is
+        // exactly "both zero"; an ordering compare tests it without
+        // float equality.
+        if x + y <= 0.0 {
             0.5
         } else {
             x / (x + y)

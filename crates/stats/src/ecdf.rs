@@ -52,9 +52,8 @@ impl Ecdf {
     /// Empirical quantile for `q` in `[0, 1]` (nearest-rank method).
     pub fn quantile(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
-        if q == 0.0 {
-            return self.sorted[0];
-        }
+        // No q == 0.0 special case needed: ceil(0 * n) = 0, and the
+        // saturating rank arithmetic below already lands on sorted[0].
         let rank = (q * self.sorted.len() as f64).ceil() as usize;
         self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
     }
