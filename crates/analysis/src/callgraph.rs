@@ -303,11 +303,7 @@ pub fn validate_callgraph(text: &str) -> Result<(), AnalysisError> {
         for key in ["line", "col", "count"] {
             match get(u, key).and_then(as_u64) {
                 Some(v) if v >= 1 => {}
-                _ => {
-                    return Err(invalid(format!(
-                        "unresolved[{i}]: `{key}` must be >= 1"
-                    )))
-                }
+                _ => return Err(invalid(format!("unresolved[{i}]: `{key}` must be >= 1"))),
             }
         }
     }
@@ -346,10 +342,7 @@ mod tests {
     use crate::source::SourceFile;
 
     fn graph_of(files: &[(&str, &str)]) -> CallGraph {
-        let files: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, t)| SourceFile::new(*p, *t))
-            .collect();
+        let files: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::new(*p, *t)).collect();
         let ctxs: Vec<FileContext> = files.iter().map(FileContext::build).collect();
         let model = WorkspaceModel::build(&ctxs);
         CallGraph::from_model(&model, &ctxs)
@@ -372,10 +365,7 @@ mod tests {
 
     #[test]
     fn dump_is_deterministic() {
-        let files = [(
-            "crates/core/src/x.rs",
-            "fn a() { b(); }\nfn b() { a(); }\n",
-        )];
+        let files = [("crates/core/src/x.rs", "fn a() { b(); }\nfn b() { a(); }\n")];
         let t1 = graph_of(&files).to_json().unwrap();
         let t2 = graph_of(&files).to_json().unwrap();
         assert_eq!(t1, t2);

@@ -77,14 +77,18 @@ impl Engine {
     /// application per file, then one global deterministic sort.
     pub fn lint_files(&self, files: &[SourceFile]) -> LintRun {
         let ctxs: Vec<FileContext<'_>> = files.iter().map(FileContext::build).collect();
-        let sups: Vec<Vec<Suppression>> =
-            ctxs.iter().map(|c| parse_suppressions(&c.comments)).collect();
+        let sups: Vec<Vec<Suppression>> = ctxs
+            .iter()
+            .map(|c| parse_suppressions(&c.comments))
+            .collect();
 
         // Per-file rules, rule-outer so each rule gets one timing span
         // covering the whole file set.
         let mut raw: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
         for rule in &self.rules {
-            let span = self.metrics.span(&format!("lint.rule.{}.duration", rule.id()));
+            let span = self
+                .metrics
+                .span(&format!("lint.rule.{}.duration", rule.id()));
             for (i, ctx) in ctxs.iter().enumerate() {
                 if rule.applies(ctx.file) {
                     raw[i].extend(rule.check(ctx));
@@ -111,7 +115,9 @@ impl Engine {
             .map(|(i, f)| (f.path.as_str(), i))
             .collect();
         for rule in &self.ws_rules {
-            let span = self.metrics.span(&format!("lint.rule.{}.duration", rule.id()));
+            let span = self
+                .metrics
+                .span(&format!("lint.rule.{}.duration", rule.id()));
             for f in rule.check(&ws) {
                 // Workspace rules only ever report into scanned files.
                 if let Some(&i) = index_of.get(f.file.as_str()) {
@@ -159,71 +165,71 @@ fn apply_suppressions(
     // invalidate the directive (it suppresses nothing).
     for s in &sups {
         let unknown: Vec<&String> = s
-                .rules
-                .iter()
-                .filter(|r| !valid_ids.contains(&r.as_str()))
-                .collect();
-            if s.rules.is_empty() || !unknown.is_empty() || s.reason.is_none() {
-                let detail = if s.rules.is_empty() {
-                    "no rule ids".to_string()
-                } else if !unknown.is_empty() {
-                    format!(
-                        "unknown rule(s) {}",
-                        unknown
-                            .iter()
-                            .map(|r| format!("`{r}`"))
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    )
-                } else {
-                    "missing reason — a suppression is a reviewed decision; \
+            .rules
+            .iter()
+            .filter(|r| !valid_ids.contains(&r.as_str()))
+            .collect();
+        if s.rules.is_empty() || !unknown.is_empty() || s.reason.is_none() {
+            let detail = if s.rules.is_empty() {
+                "no rule ids".to_string()
+            } else if !unknown.is_empty() {
+                format!(
+                    "unknown rule(s) {}",
+                    unknown
+                        .iter()
+                        .map(|r| format!("`{r}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            } else {
+                "missing reason — a suppression is a reviewed decision; \
                      say why the finding is acceptable"
-                        .to_string()
-                };
-                out.push(Finding::new(
-                    "invalid-suppression",
-                    file,
-                    s.line,
-                    s.col,
-                    format!("malformed lint:allow: {detail}"),
-                ));
-            }
+                    .to_string()
+            };
+            out.push(Finding::new(
+                "invalid-suppression",
+                file,
+                s.line,
+                s.col,
+                format!("malformed lint:allow: {detail}"),
+            ));
         }
+    }
 
-        // Apply valid suppressions.
-        for f in raw {
-            let mut suppressed = false;
-            for s in &mut sups {
-                if s.reason.is_some() && s.covers(&f.rule, f.line) {
-                    s.used = true;
-                    suppressed = true;
-                    break;
-                }
-            }
-            if !suppressed {
-                out.push(f);
+    // Apply valid suppressions.
+    for f in raw {
+        let mut suppressed = false;
+        for s in &mut sups {
+            if s.reason.is_some() && s.covers(&f.rule, f.line) {
+                s.used = true;
+                suppressed = true;
+                break;
             }
         }
+        if !suppressed {
+            out.push(f);
+        }
+    }
 
-        // A valid suppression that matched nothing is stale.
-        for s in &sups {
-            if s.reason.is_some()
-                && !s.used
-                && s.rules.iter().all(|r| valid_ids.contains(&r.as_str()))
-                && !s.rules.is_empty()
-            {
-                out.push(Finding::new(
-                    "unused-suppression",
-                    file,
-                    s.line,
-                    s.col,
-                    format!(
-                        "lint:allow({}) suppresses nothing here; remove it",
-                        s.rules.join(", ")
-                    ),
-                ));
-            }
+    // A valid suppression that matched nothing is stale.
+    for s in &sups {
+        if s.reason.is_some()
+            && !s.used
+            && s.rules.iter().all(|r| valid_ids.contains(&r.as_str()))
+            && !s.rules.is_empty()
+        {
+            out.push(Finding::new(
+                "unused-suppression",
+                file,
+                s.line,
+                s.col,
+                format!(
+                    "lint:allow({}) suppresses nothing here; remove it",
+                    s.rules.join(", ")
+                ),
+            ));
         }
+    }
     out
 }
 
@@ -445,7 +451,10 @@ mod tests {
             engine.build_report(&run, &baseline).to_json().unwrap()
         };
         let first = render();
-        assert!(first.contains("panic-reachable"), "fixture should trip the ws rule");
+        assert!(
+            first.contains("panic-reachable"),
+            "fixture should trip the ws rule"
+        );
         for _ in 0..3 {
             assert_eq!(first, render(), "report JSON must be byte-stable");
         }

@@ -641,7 +641,10 @@ mod tests {
     fn unterminated_raw_string_consumes_to_eof_without_panic() {
         let out = lex(r##"let s = r#"never closed"##); // missing final #
         assert_eq!(
-            out.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
             1
         );
     }

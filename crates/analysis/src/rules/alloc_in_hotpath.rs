@@ -71,10 +71,10 @@ impl WorkspaceRule for AllocInHotpath {
         let mut parent: Vec<Option<usize>> = vec![None; n];
         let mut root_of: Vec<Option<usize>> = vec![None; n];
         let mut queue: Vec<usize> = Vec::new();
-        for fid in 0..n {
+        for (fid, root) in root_of.iter_mut().enumerate() {
             let f = &ws.model.functions[fid];
             if !f.is_test && f.hotpath.as_ref().is_some_and(|h| h.reason.is_some()) {
-                root_of[fid] = Some(fid);
+                *root = Some(fid);
                 queue.push(fid);
             }
         }
@@ -123,7 +123,12 @@ impl WorkspaceRule for AllocInHotpath {
             for call in &ws.model.calls[fid] {
                 match &call.kind {
                     CallKind::Method if ALLOC_METHODS.contains(&call.name.as_str()) => {
-                        flag(call.line, call.col, format!("`.{}()` allocates", call.name), &mut out);
+                        flag(
+                            call.line,
+                            call.col,
+                            format!("`.{}()` allocates", call.name),
+                            &mut out,
+                        );
                     }
                     CallKind::Path(q)
                         if CONTAINER_TYPES.contains(&q.as_str())

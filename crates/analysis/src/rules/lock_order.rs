@@ -89,17 +89,16 @@ impl WorkspaceRule for LockOrder {
         let mut pairs: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
         // site key -> (priority, finding); lowest priority number wins.
         let mut sited: BTreeMap<(String, u32, u32), (u8, Finding)> = BTreeMap::new();
-        let place = |sited: &mut BTreeMap<(String, u32, u32), (u8, Finding)>,
-                         prio: u8,
-                         f: Finding| {
-            let key = (f.file.clone(), f.line, f.col);
-            match sited.get(&key) {
-                Some((p, _)) if *p <= prio => {}
-                _ => {
-                    sited.insert(key, (prio, f));
+        let place =
+            |sited: &mut BTreeMap<(String, u32, u32), (u8, Finding)>, prio: u8, f: Finding| {
+                let key = (f.file.clone(), f.line, f.col);
+                match sited.get(&key) {
+                    Some((p, _)) if *p <= prio => {}
+                    _ => {
+                        sited.insert(key, (prio, f));
+                    }
                 }
-            }
-        };
+            };
 
         for fid in 0..n {
             let f = &ws.model.functions[fid];
@@ -198,10 +197,12 @@ impl WorkspaceRule for LockOrder {
                                 ),
                             );
                         } else {
-                            pairs
-                                .entry((a.lock.clone(), l.clone()))
-                                .or_default()
-                                .push((fid, call.line, call.col, Some(gname.clone())));
+                            pairs.entry((a.lock.clone(), l.clone())).or_default().push((
+                                fid,
+                                call.line,
+                                call.col,
+                                Some(gname.clone()),
+                            ));
                         }
                     }
                     if blocks[g] {
@@ -235,7 +236,11 @@ impl WorkspaceRule for LockOrder {
             let (ofid, oline, _ocol, _) = opposite
                 .iter()
                 .min_by_key(|(fid, line, col, _)| {
-                    (&ws.contexts[ws.model.functions[*fid].file].file.path, *line, *col)
+                    (
+                        &ws.contexts[ws.model.functions[*fid].file].file.path,
+                        *line,
+                        *col,
+                    )
                 })
                 .expect("non-empty witness list");
             let ofile = &ws.contexts[ws.model.functions[*ofid].file].file.path;

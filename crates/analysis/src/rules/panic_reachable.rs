@@ -42,13 +42,13 @@ impl WorkspaceRule for PanicReachable {
 
         // --- classify panic sources -------------------------------
         let mut source_desc: Vec<Option<String>> = vec![None; n];
-        for fid in 0..n {
+        for (fid, desc) in source_desc.iter_mut().enumerate() {
             let f = &ws.model.functions[fid];
             if f.is_test {
                 continue;
             }
             if f.panics_doc {
-                source_desc[fid] = Some("documents `# Panics`".to_string());
+                *desc = Some("documents `# Panics`".to_string());
                 continue;
             }
             let file = ws.contexts[f.file].file;
@@ -57,7 +57,7 @@ impl WorkspaceRule for PanicReachable {
                 && SCOPED_CRATES.contains(&file.crate_name.as_str())
             {
                 if let Some((line, what)) = self.first_live_panic(ws, fid) {
-                    source_desc[fid] = Some(format!("{what} at line {line}"));
+                    *desc = Some(format!("{what} at line {line}"));
                 }
             }
         }
@@ -95,13 +95,13 @@ impl WorkspaceRule for PanicReachable {
 
         // --- report reachable scoped functions --------------------
         let mut out = Vec::new();
-        for fid in 0..n {
+        for (fid, desc) in source_desc.iter().enumerate() {
             let f = &ws.model.functions[fid];
             let file = ws.contexts[f.file].file;
             if f.is_test
                 || file.class != FileClass::Lib
                 || !SCOPED_CRATES.contains(&file.crate_name.as_str())
-                || source_desc[fid].is_some()
+                || desc.is_some()
             {
                 continue;
             }
@@ -183,7 +183,11 @@ impl PanicReachable {
                 && toks.get(i + 1).is_some_and(|x| x.kind == TokenKind::Int)
                 && toks.get(i + 2).is_some_and(|x| x.is_punct("]"))
             {
-                Some(format!("indexes `{}[{}]`", toks[i - 1].text, toks[i + 1].text))
+                Some(format!(
+                    "indexes `{}[{}]`",
+                    toks[i - 1].text,
+                    toks[i + 1].text
+                ))
             } else {
                 None
             };
@@ -199,7 +203,12 @@ impl PanicReachable {
 
     /// Deterministic shortest chain from `start` down to a source,
     /// rendered as `a -> b -> c`, plus the source's description.
-    fn chain_from(&self, ws: &Workspace<'_>, dist: &[Option<u32>], start: usize) -> (String, String) {
+    fn chain_from(
+        &self,
+        ws: &Workspace<'_>,
+        dist: &[Option<u32>],
+        start: usize,
+    ) -> (String, String) {
         const MAX_HOPS: usize = 8;
         let mut names = vec![ws.model.qualified(ws.contexts, start)];
         let mut cur = start;

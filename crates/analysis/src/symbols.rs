@@ -336,11 +336,7 @@ fn extract_functions(fi: usize, ctx: &FileContext<'_>, out: &mut Vec<FunctionDef
             if let Some(ty) = impl_subject(toks, i) {
                 impl_stack.push((depth + 1, ty));
             }
-        } else if t.is_ident("fn")
-            && toks
-                .get(i + 1)
-                .is_some_and(|n| n.kind == TokenKind::Ident)
-        {
+        } else if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) {
             let name_tok = &toks[i + 1];
             let (panics_doc, hotpath) =
                 doc_block_info(name_tok.line, &comments_by_line, &token_lines);
@@ -837,6 +833,9 @@ fn guard_block_end(toks: &[Token], i: usize, guard: Option<&str>) -> usize {
 
 // ---------------------------------------------------------- resolution
 
+/// Per-call-site resolution: (site index, resolved callee, why not).
+type SiteResolution = (usize, Option<usize>, Option<Unresolved>);
+
 fn resolve_calls(ctxs: &[FileContext<'_>], model: &mut WorkspaceModel) {
     // Name maps over definitions. BTreeMap for deterministic iteration.
     let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
@@ -856,8 +855,7 @@ fn resolve_calls(ctxs: &[FileContext<'_>], model: &mut WorkspaceModel) {
             .unwrap_or("")
     };
 
-    let mut resolutions: Vec<Vec<(usize, Option<usize>, Option<Unresolved>)>> =
-        vec![Vec::new(); model.functions.len()];
+    let mut resolutions: Vec<Vec<SiteResolution>> = vec![Vec::new(); model.functions.len()];
     for (caller, sites) in model.calls.iter().enumerate() {
         let caller_file = model.functions[caller].file;
         let caller_crate = ctxs[caller_file].file.crate_name.as_str();
@@ -923,9 +921,7 @@ fn resolve_calls(ctxs: &[FileContext<'_>], model: &mut WorkspaceModel) {
                             .map(|v| {
                                 v.iter()
                                     .copied()
-                                    .filter(|&id| {
-                                        model.functions[id].qself.as_deref() == Some(q)
-                                    })
+                                    .filter(|&id| model.functions[id].qself.as_deref() == Some(q))
                                     .collect()
                             })
                             .unwrap_or_default()
@@ -1010,10 +1006,7 @@ mod tests {
     use crate::source::SourceFile;
 
     fn model_of(files: &[(&str, &str)]) -> (Vec<SourceFile>, WorkspaceModel) {
-        let files: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, t)| SourceFile::new(*p, *t))
-            .collect();
+        let files: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::new(*p, *t)).collect();
         let ctxs: Vec<FileContext> = files.iter().map(FileContext::build).collect();
         let model = WorkspaceModel::build(&ctxs);
         (files, model)
@@ -1053,10 +1046,7 @@ mod tests {
         )]);
         assert_eq!(find(&m, "double").1.qself, None);
         let (gid, _) = find(&m, "gen");
-        let resolved: Vec<&str> = m
-            .resolved_calls(gid)
-            .map(|c| c.name.as_str())
-            .collect();
+        let resolved: Vec<&str> = m.resolved_calls(gid).map(|c| c.name.as_str()).collect();
         assert_eq!(resolved, ["double"]);
     }
 

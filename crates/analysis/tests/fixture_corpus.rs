@@ -242,7 +242,10 @@ fn every_workspace_rule_has_a_multi_file_fixture() {
     }
     let root = fixture_root().join("workspace");
     for (dir, files) in MULTI_FIXTURES {
-        assert!(files.len() >= 2, "workspace/{dir} should span several files");
+        assert!(
+            files.len() >= 2,
+            "workspace/{dir} should span several files"
+        );
         for (name, _) in files {
             assert!(
                 root.join(dir).join(name).is_file(),

@@ -12,23 +12,27 @@
 //! * **`BENCH_index.json`** — the CSR query engine vs the frozen
 //!   pre-CSR engine ([`crate::legacy`]): build time and `all_neighbors`
 //!   throughput at N ∈ {1k, 10k, 50k}, eps = 8, duplicate fractions
-//!   {0%, 50%, 90%}, with explicit speedup-ratio gauges.
+//!   {0%, 50%, 90%}, with explicit speedup-ratio gauges;
+//! * **`BENCH_hash.json`** — Step 1 isolated: the render-cached
+//!   scratch-reuse hash kernel vs the frozen pre-optimization hash
+//!   stage ([`crate::legacy`]) at 1/2/8 threads, with per-`ImageRef`
+//!   kind breakdowns, images/sec, and speedup-ratio gauges.
 //!
 //! All validate with `memes validate-metrics` (the wrapper form), so
 //! CI can archive them as trend baselines.
 
-use crate::legacy::{legacy_all_neighbors, LegacyMihIndex};
+use crate::legacy::{legacy_all_neighbors, legacy_hash_posts, LegacyMihIndex};
 use meme_core::pipeline::{Pipeline, PipelineConfig, ScreenshotFilterMode};
 use meme_core::runner::PipelineRunner;
 use meme_core::supervise::SupervisedRunner;
 use meme_hawkes::InfluenceEstimator;
 use meme_index::{
-    all_neighbors, symmetric_neighbors, BkTreeIndex, BruteForceIndex, HammingIndex, HashGroups,
-    MihIndex,
+    all_neighbors, effective_threads, symmetric_neighbors, BkTreeIndex, BruteForceIndex,
+    HammingIndex, HashGroups, MihIndex,
 };
 use meme_metrics::{Metrics, Registry};
-use meme_phash::PHash;
-use meme_simweb::{Community, SimConfig, SimScale};
+use meme_phash::{HashScratch, ImageHasher, PHash, PerceptualHasher};
+use meme_simweb::{Community, Dataset, ImageRef, RenderCache, RenderStats, SimConfig, SimScale};
 use meme_stats::seeded_rng;
 use rand::RngExt;
 use std::sync::Arc;
@@ -343,6 +347,165 @@ pub fn index_baseline(seed: u64, threads: usize, max_n: usize) -> String {
     wrap("index", "synthetic", seed, &registry.to_json())
 }
 
+/// `BENCH_hash.json`: thread counts for the hash-stage comparison.
+const HASH_BENCH_THREADS: [usize; 3] = [1, 2, 8];
+
+/// The current hash stage *without* the render cache: full per-post
+/// renders through `Dataset::render_post_image`, but the scratch-reuse
+/// kernel. Isolates the kernel's contribution from the cache's.
+fn bench_hash_uncached(dataset: &Dataset, threads: usize) -> Vec<PHash> {
+    let n = dataset.posts.len();
+    let threads = effective_threads(threads, n);
+    let chunk_len = n.div_ceil(threads);
+    let mut hashes = vec![PHash::default(); n];
+    crossbeam::thread::scope(|s| {
+        for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move |_| {
+                let hasher = PerceptualHasher::new();
+                let mut scratch = HashScratch::new();
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let post = &dataset.posts[chunk_id * chunk_len + off];
+                    *slot = hasher.hash_into(&dataset.render_post_image(post), &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("hashing worker panicked");
+    hashes
+}
+
+/// The full current hash stage: shared render cache + per-worker
+/// scratch, mirroring `meme-core`'s clean `hash_posts` loop.
+fn bench_hash_cached(
+    dataset: &Dataset,
+    cache: &RenderCache,
+    threads: usize,
+) -> (Vec<PHash>, RenderStats) {
+    let n = dataset.posts.len();
+    let threads = effective_threads(threads, n);
+    let chunk_len = n.div_ceil(threads);
+    let mut worker_stats = vec![RenderStats::default(); n.div_ceil(chunk_len)];
+    let mut hashes = vec![PHash::default(); n];
+    crossbeam::thread::scope(|s| {
+        for ((chunk_id, slot_chunk), stats) in hashes
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .zip(worker_stats.iter_mut())
+        {
+            s.spawn(move |_| {
+                let hasher = PerceptualHasher::new();
+                let mut scratch = HashScratch::new();
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let post = &dataset.posts[chunk_id * chunk_len + off];
+                    let img = dataset.render_post_cached(post, cache, stats);
+                    *slot = hasher.hash_into(img.as_image(), &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("hashing worker panicked");
+    let mut stats = RenderStats::default();
+    for s in &worker_stats {
+        stats.merge(s);
+    }
+    (hashes, stats)
+}
+
+/// Compare the hash stage against the frozen pre-optimization path
+/// ([`crate::legacy`]) at 1/2/8 threads; return the `BENCH_hash.json`
+/// document. Three rungs per thread count — frozen legacy, the
+/// scratch-reuse kernel over uncached renders, and the full cached
+/// stage — with byte-equality asserted between all three. `max_n` caps
+/// the post count (CI smoke runs pass a cap; the committed baseline
+/// uses `usize::MAX`).
+pub fn hash_baseline(scale: SimScale, seed: u64, max_n: usize) -> String {
+    let mut dataset = SimConfig::new(scale, seed).generate();
+    if dataset.posts.len() > max_n {
+        dataset.posts.truncate(max_n);
+    }
+    let n = dataset.posts.len();
+    let registry = Arc::new(Registry::new());
+    let metrics = Metrics::from_registry(Arc::clone(&registry));
+    metrics.add("hash_bench.images", n as u64);
+
+    let span = metrics.span("hash/cache_build");
+    let cache = RenderCache::build(&dataset);
+    span.finish();
+    metrics.gauge("hash.render_cache.entries", cache.entries() as f64);
+    metrics.gauge("hash.render_cache.bytes", cache.bytes() as f64);
+
+    for &threads in &HASH_BENCH_THREADS {
+        let span = metrics.span(&format!("hash/{threads}/legacy"));
+        let legacy = legacy_hash_posts(&dataset, threads);
+        let legacy_elapsed = span.finish();
+
+        let span = metrics.span(&format!("hash/{threads}/kernel_uncached"));
+        let uncached = bench_hash_uncached(&dataset, threads);
+        let uncached_elapsed = span.finish();
+
+        let span = metrics.span(&format!("hash/{threads}/cached"));
+        let (cached, stats) = bench_hash_cached(&dataset, &cache, threads);
+        let cached_elapsed = span.finish();
+
+        // A speedup over different bits would be meaningless.
+        assert_eq!(uncached, legacy, "kernel diverged from legacy bits");
+        assert_eq!(cached, legacy, "cached stage diverged from legacy bits");
+
+        if threads == HASH_BENCH_THREADS[0] {
+            metrics.add("hash.render_cache.hits", stats.hits);
+            metrics.add("hash.render_cache.misses", stats.misses);
+            metrics.add("hash.rendered.meme_variant", stats.meme_variant);
+            metrics.add("hash.rendered.one_off", stats.one_off);
+            metrics.add("hash.rendered.screenshot", stats.screenshot);
+            metrics.add("hash.rendered.blank", stats.blank);
+        }
+        if legacy_elapsed > 0.0 {
+            metrics.gauge(
+                &format!("hash_bench.{threads}.legacy_images_per_sec"),
+                n as f64 / legacy_elapsed,
+            );
+        }
+        if uncached_elapsed > 0.0 {
+            metrics.gauge(
+                &format!("hash_bench.{threads}.kernel_images_per_sec"),
+                n as f64 / uncached_elapsed,
+            );
+            metrics.gauge(
+                &format!("hash_bench.{threads}.speedup_kernel"),
+                legacy_elapsed / uncached_elapsed,
+            );
+        }
+        if cached_elapsed > 0.0 {
+            metrics.gauge(
+                &format!("hash_bench.{threads}.cached_images_per_sec"),
+                n as f64 / cached_elapsed,
+            );
+            metrics.gauge(
+                &format!("hash_bench.{threads}.speedup_cached"),
+                legacy_elapsed / cached_elapsed,
+            );
+        }
+    }
+
+    // Per-kind post mix, so the per-kind throughput story is readable
+    // straight off the artifact.
+    let mut kinds = [0u64; 4];
+    for post in &dataset.posts {
+        match post.image {
+            ImageRef::MemeVariant { .. } => kinds[0] += 1,
+            ImageRef::OneOff { .. } => kinds[1] += 1,
+            ImageRef::Screenshot { .. } => kinds[2] += 1,
+            ImageRef::Blank => kinds[3] += 1,
+        }
+    }
+    metrics.add("hash_bench.posts.meme_variant", kinds[0]);
+    metrics.add("hash_bench.posts.one_off", kinds[1]);
+    metrics.add("hash_bench.posts.screenshot", kinds[2]);
+    metrics.add("hash_bench.posts.blank", kinds[3]);
+
+    wrap("hash", scale_label(scale), seed, &registry.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +535,28 @@ mod tests {
             assert!(doc.contains(needle), "missing {needle}");
         }
         assert!(!doc.contains("index/10000x0"), "cap ignored");
+    }
+
+    #[test]
+    fn hash_baseline_reports_speedups_at_reduced_scale() {
+        // Capped at 400 posts so the test stays fast; the rung
+        // structure, span names, and equality assertions are identical
+        // at full scale.
+        let doc = hash_baseline(SimScale::Tiny, 7, 400);
+        for needle in [
+            "\"bench\": \"hash\"",
+            "hash/cache_build",
+            "hash/1/legacy",
+            "hash/1/kernel_uncached",
+            "hash/8/cached",
+            "hash_bench.1.speedup_cached",
+            "hash_bench.1.speedup_kernel",
+            "hash.render_cache.hits",
+            "hash.render_cache.entries",
+            "hash_bench.posts.meme_variant",
+        ] {
+            assert!(doc.contains(needle), "missing {needle}");
+        }
     }
 
     #[test]

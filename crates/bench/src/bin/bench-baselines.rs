@@ -3,18 +3,22 @@
 //! ```text
 //! bench-baselines [--scale tiny|small|default] [--seed N]
 //!                 [--threads N] [--out-dir DIR] [--index-max-n N]
+//!                 [--hash-max-n N]
 //! ```
 //!
 //! Writes `BENCH_pipeline.json` (full pipeline + Step-7 influence under
 //! per-stage spans), `BENCH_clustering.json` (per-engine build /
-//! `all_neighbors` / DBSCAN timings), and `BENCH_index.json` (CSR query
+//! `all_neighbors` / DBSCAN timings), `BENCH_index.json` (CSR query
 //! engine vs the frozen legacy engine over the N × duplicate-fraction
-//! grid; `--index-max-n` caps the grid for smoke runs) into `--out-dir`
-//! (default: the current directory). All files pass
-//! `memes validate-metrics`.
+//! grid; `--index-max-n` caps the grid for smoke runs), and
+//! `BENCH_hash.json` (the render-cached scratch-reuse hash stage vs the
+//! frozen legacy hash path at 1/2/8 threads; `--hash-max-n` caps the
+//! post count for smoke runs) into `--out-dir` (default: the current
+//! directory). All files pass `memes validate-metrics`.
 
 use meme_bench::baseline::{
-    clustering_baseline, index_baseline, pipeline_baseline, supervision_overhead_ratio,
+    clustering_baseline, hash_baseline, index_baseline, pipeline_baseline,
+    supervision_overhead_ratio,
 };
 use meme_bench::harness::Options;
 use std::path::Path;
@@ -71,5 +75,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[bench-baselines] wrote {}", index_path.display());
+
+    eprintln!(
+        "[bench-baselines] hash baseline (scale {:?}, seed {})...",
+        opts.scale, opts.seed
+    );
+    let hash = hash_baseline(opts.scale, opts.seed, opts.hash_max_n);
+    let hash_path = Path::new(&dir).join("BENCH_hash.json");
+    if let Err(e) = std::fs::write(&hash_path, hash) {
+        eprintln!("cannot write {}: {e}", hash_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench-baselines] wrote {}", hash_path.display());
     ExitCode::SUCCESS
 }

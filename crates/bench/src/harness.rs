@@ -21,12 +21,16 @@ pub struct Options {
     /// Cap on the index-benchmark corpus size (`bench-baselines`);
     /// lets CI smoke runs skip the largest grid cells.
     pub index_max_n: usize,
+    /// Cap on the hash-benchmark post count (`bench-baselines`); lets
+    /// CI smoke runs keep the slow frozen-legacy rung short.
+    pub hash_max_n: usize,
 }
 
 impl Options {
     /// Parse from `std::env::args`. Recognized flags:
     /// `--scale tiny|small|default`, `--seed N`, `--train-filter`,
-    /// `--threads N`, `--out-dir DIR`, `--index-max-n N`.
+    /// `--threads N`, `--out-dir DIR`, `--index-max-n N`,
+    /// `--hash-max-n N`.
     pub fn from_args() -> Self {
         let mut opts = Self {
             scale: SimScale::Small,
@@ -35,6 +39,7 @@ impl Options {
             threads: 0,
             out_dir: None,
             index_max_n: usize::MAX,
+            hash_max_n: usize::MAX,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -71,6 +76,13 @@ impl Options {
                 "--index-max-n" => {
                     i += 1;
                     opts.index_max_n = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(usize::MAX);
+                }
+                "--hash-max-n" => {
+                    i += 1;
+                    opts.hash_max_n = args
                         .get(i)
                         .and_then(|s| s.parse().ok())
                         .unwrap_or(usize::MAX);

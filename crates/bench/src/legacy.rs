@@ -1,20 +1,36 @@
-//! Frozen pre-CSR Hamming engine — the speedup denominator.
+//! Frozen pre-optimization paths — the speedup denominators.
 //!
-//! `BENCH_index.json` reports the CSR engine's throughput as a ratio
-//! against "the engine this change replaced". A ratio computed against a
+//! `BENCH_index.json` and `BENCH_hash.json` report throughput as ratios
+//! against "the code this change replaced". A ratio computed against a
 //! remembered number from another machine is folklore; a ratio computed
-//! against code that still compiles is a measurement. This module is a
-//! verbatim-behaviour copy of the old `meme_index::MihIndex` (per-band
-//! `HashMap<u64, Vec<usize>>` tables, per-query allocate + `sort +
-//! dedup + retain`) and the old per-item `all_neighbors` driver (one
-//! full query per *item*, duplicates and mirrored pairs recomputed).
+//! against code that still compiles is a measurement. This module holds
+//! verbatim-behaviour copies of:
+//!
+//! * the old `meme_index::MihIndex` (per-band `HashMap<u64, Vec<usize>>`
+//!   tables, per-query allocate + `sort + dedup + retain`) and the old
+//!   per-item `all_neighbors` driver (one full query per *item*,
+//!   duplicates and mirrored pairs recomputed);
+//! * the old hash stage: per-post full renders (per-pixel `cos` template
+//!   synthesis, no base-render memoization, screenshots re-rendered per
+//!   post) and the old allocating `PerceptualHasher::hash` (resize into
+//!   a fresh image, collect an f64 plane, full-size DCT, clone + sort by
+//!   `partial_cmp` for the median).
 //!
 //! It is deliberately **not** public API of the workspace: nothing
 //! outside the bench crate should ever run it. Do not "fix" or speed it
-//! up — its only job is to stay slow the way the old engine was slow.
+//! up — its only job is to stay slow the way the old code was slow.
 
+use meme_annotate::screenshot::render_screenshot;
+use meme_imaging::dct::Dct2d;
+use meme_imaging::image::Image;
+use meme_imaging::resize::resize_box;
+use meme_imaging::synth::{JitterConfig, TemplateGenome, VariantGenome, VariantOp};
+use meme_imaging::transform;
 use meme_index::effective_threads;
 use meme_phash::PHash;
+use meme_simweb::{Dataset, ImageRef, Post, IMAGE_SIZE};
+use meme_stats::{child_seed, seeded_rng};
+use rand::{Rng, RngExt};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -137,12 +153,262 @@ pub fn legacy_all_neighbors(
     result
 }
 
+/// The old `TemplateGenome::render`: per-pixel `cos` evaluation of the
+/// 6-mode cosine mixture (6 × 2 `cos` calls per pixel) instead of the
+/// current 1-D table factorization. Draw order, normalization, and blob
+/// placement are verbatim, so the output is bit-identical to the current
+/// renderer — only slower.
+pub fn legacy_render_template(genome: TemplateGenome, size: usize) -> Image {
+    assert!(size >= 8, "template images need at least 8x8 pixels");
+    let mut rng = seeded_rng(child_seed(genome.seed, 0xC0DE));
+    let mut img = Image::new(size, size);
+    let modes: Vec<(usize, usize, f64, f64)> = (0..6)
+        .map(|_| {
+            let u = rng.random_range(1..=5usize);
+            let v = rng.random_range(1..=5usize);
+            let amp =
+                rng.random_range(0.35..1.0f64) * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            let phase = rng.random_range(0.0..std::f64::consts::TAU);
+            (u, v, amp, phase)
+        })
+        .collect();
+    let n = size as f64;
+    for y in 0..size {
+        for x in 0..size {
+            let mut acc = 0.0f64;
+            for &(u, v, amp, phase) in &modes {
+                let cx = (std::f64::consts::PI * (x as f64 + 0.5) * u as f64 / n).cos();
+                let cy = (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n + phase).cos();
+                acc += amp * cx * cy;
+            }
+            img.set(x, y, acc as f32);
+        }
+    }
+    let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+    for &p in img.data() {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    let span = (hi - lo).max(1e-6);
+    img.map_in_place(|p| 0.15 + 0.7 * (p - lo) / span);
+    for _ in 0..3 {
+        let cx = rng.random_range(0.2..0.8) * n;
+        let cy = rng.random_range(0.2..0.8) * n;
+        let r = rng.random_range(0.08..0.22) * n;
+        let tone = if rng.random_bool(0.5) { 0.95 } else { 0.05 };
+        img.blend_ellipse(cx, cy, r, r * rng.random_range(0.6..1.4), tone, 0.8);
+    }
+    img.clamp();
+    img
+}
+
+/// The structural variant ops, copied from `VariantOp::apply` (which is
+/// private to `meme-imaging`); the op fields are public, so the copy
+/// reproduces the exact arithmetic through the same public transforms.
+fn legacy_apply_op(op: &VariantOp, img: &Image) -> Image {
+    let side = img.width() as f32;
+    match *op {
+        VariantOp::CaptionTop { height_frac, tone } => {
+            transform::caption_band(img, true, height_frac, tone)
+        }
+        VariantOp::CaptionBottom { height_frac, tone } => {
+            transform::caption_band(img, false, height_frac, tone)
+        }
+        VariantOp::Overlay { cx, cy, r, tone } => {
+            let mut out = img.clone();
+            out.blend_ellipse(
+                (cx * side) as f64,
+                (cy * img.height() as f32) as f64,
+                (r * side) as f64,
+                (r * side) as f64,
+                tone,
+                0.9,
+            );
+            out
+        }
+        VariantOp::InvertRegion { x0, y0, x1, y1 } => {
+            let mut out = img.clone();
+            let w = img.width() as f32;
+            let h = img.height() as f32;
+            let (ax, ay) = ((x0 * w) as usize, (y0 * h) as usize);
+            let (bx, by) = ((x1 * w) as usize, (y1 * h) as usize);
+            for y in ay..by.min(img.height()) {
+                for x in ax..bx.min(img.width()) {
+                    let p = out.get(x, y);
+                    out.set(x, y, 1.0 - p);
+                }
+            }
+            out
+        }
+        VariantOp::FlipH => transform::flip_horizontal(img),
+    }
+}
+
+/// The old per-post jittered render: full template render (per-pixel
+/// `cos`) + variant ops for *every* post, then the photometric jitter
+/// chain, with the exact rng draw order of the current path.
+pub fn legacy_render_jittered<R: Rng + ?Sized>(
+    variant: &VariantGenome,
+    size: usize,
+    jitter: &JitterConfig,
+    rng: &mut R,
+) -> Image {
+    let mut img = legacy_render_template(variant.template, size);
+    for op in &variant.ops {
+        img = legacy_apply_op(op, &img);
+    }
+    let b = rng.random_range(-jitter.brightness..=jitter.brightness);
+    img = transform::brightness(&img, b);
+    let c = 1.0 + rng.random_range(-jitter.contrast..=jitter.contrast);
+    img = transform::contrast(&img, c);
+    if jitter.noise_sigma > 0.0 {
+        img = transform::gaussian_noise(&img, jitter.noise_sigma, rng);
+    }
+    if rng.random_bool(jitter.rescale_prob) {
+        img = transform::rescale_cycle(&img, rng.random_range(0.7..0.95));
+    }
+    if jitter.crop_max > 0.0 && rng.random_bool(jitter.crop_prob) {
+        img = transform::border_crop(&img, rng.random_range(0.0..jitter.crop_max));
+    }
+    img
+}
+
+/// The old `Dataset::render_post_image`: every kind rendered from
+/// scratch per post — meme variants re-render the full template,
+/// screenshots re-render the whole family image, one per post.
+pub fn legacy_render_post_image(dataset: &Dataset, post: &Post) -> Image {
+    match post.image {
+        ImageRef::MemeVariant {
+            meme,
+            variant,
+            jitter_seed,
+        } => {
+            let mut rng = seeded_rng(jitter_seed);
+            legacy_render_jittered(
+                &dataset.universe.specs[meme].variants[variant],
+                IMAGE_SIZE,
+                &JitterConfig::default(),
+                &mut rng,
+            )
+        }
+        ImageRef::OneOff { seed } => legacy_render_template(TemplateGenome::new(seed), IMAGE_SIZE),
+        ImageRef::Screenshot {
+            platform,
+            family_seed,
+        } => {
+            let mut rng = seeded_rng(family_seed);
+            render_screenshot(platform.to_source(), IMAGE_SIZE, &mut rng)
+        }
+        ImageRef::Blank => Image::filled(IMAGE_SIZE, IMAGE_SIZE, 0.0),
+    }
+}
+
+/// The old allocating pHash: fresh resized image, collected f64 plane,
+/// full-size DCT, block copy, clone + `partial_cmp` sort for the
+/// median. Frozen at the pre-scratch revision.
+#[derive(Debug, Clone)]
+pub struct LegacyPerceptualHasher {
+    hash_size: usize,
+    plan: Dct2d,
+}
+
+impl LegacyPerceptualHasher {
+    /// The 32×32 → 8×8 configuration from the paper.
+    pub fn new() -> Self {
+        Self {
+            hash_size: 8,
+            plan: Dct2d::new(32),
+        }
+    }
+
+    /// The old `PerceptualHasher::hash` body, verbatim.
+    pub fn hash(&self, img: &Image) -> PHash {
+        let n = self.plan.n();
+        let small = resize_box(img, n, n);
+        let pixels: Vec<f64> = small.data().iter().map(|&p| p as f64).collect();
+        let coeffs = self.plan.forward(&pixels);
+
+        let hs = self.hash_size;
+        let mut block = Vec::with_capacity(hs * hs);
+        for y in 0..hs {
+            for x in 0..hs {
+                block.push(coeffs[y * n + x]);
+            }
+        }
+        let mut sorted = block.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("DCT output is finite"));
+        let median = (sorted[hs * hs / 2 - 1] + sorted[hs * hs / 2]) / 2.0;
+
+        let mut bits = 0u64;
+        for (i, &c) in block.iter().enumerate() {
+            if c > median {
+                bits |= 1u64 << (63 - i);
+            }
+        }
+        PHash(bits)
+    }
+}
+
+impl Default for LegacyPerceptualHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The old `hash_posts` clean loop: chunked workers, one hasher per
+/// worker, full per-post renders, allocating hash — no render cache,
+/// no scratch.
+pub fn legacy_hash_posts(dataset: &Dataset, threads: usize) -> Vec<PHash> {
+    let n = dataset.posts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, n);
+    let chunk_len = n.div_ceil(threads);
+    let mut hashes = vec![PHash::default(); n];
+    crossbeam::thread::scope(|s| {
+        for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move |_| {
+                let hasher = LegacyPerceptualHasher::new();
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let post = &dataset.posts[chunk_id * chunk_len + off];
+                    *slot = hasher.hash(&legacy_render_post_image(dataset, post));
+                }
+            });
+        }
+    })
+    .expect("legacy hashing worker panicked");
+    hashes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use meme_index::{all_neighbors, BruteForceIndex, HammingIndex};
     use meme_stats::seeded_rng;
     use rand::RngExt;
+
+    #[test]
+    fn legacy_hash_path_still_matches_current_kernel() {
+        use meme_phash::{HashScratch, ImageHasher, PerceptualHasher};
+        use meme_simweb::{RenderCache, RenderStats, SimConfig};
+        // The denominator must compute the same bits as the current
+        // cached + scratch-reuse path, or the speedup ratio compares
+        // different work.
+        let d = SimConfig::tiny(7).generate();
+        let cache = RenderCache::build(&d);
+        let legacy_hasher = LegacyPerceptualHasher::new();
+        let hasher = PerceptualHasher::new();
+        let mut scratch = HashScratch::new();
+        let mut stats = RenderStats::default();
+        let step = (d.posts.len() / 64).max(1);
+        for post in d.posts.iter().step_by(step) {
+            let legacy = legacy_hasher.hash(&legacy_render_post_image(&d, post));
+            let img = d.render_post_cached(post, &cache, &mut stats);
+            let current = hasher.hash_into(img.as_image(), &mut scratch);
+            assert_eq!(legacy, current, "post {} diverged from legacy", post.id);
+        }
+    }
 
     #[test]
     fn legacy_engine_still_matches_current_engines() {

@@ -34,8 +34,8 @@ use meme_index::{
     NeighborStats, QueryScratch,
 };
 use meme_metrics::Metrics;
-use meme_phash::{ImageHasher, PHash, PerceptualHasher};
-use meme_simweb::{Community, Dataset};
+use meme_phash::{HashScratch, ImageHasher, PHash, PerceptualHasher};
+use meme_simweb::{Community, Dataset, RenderCache, RenderStats};
 use meme_stats::dist::DistError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -720,37 +720,55 @@ impl Pipeline {
         let threads = effective_threads(self.config.threads, n);
         let chunk_len = n.div_ceil(threads);
         self.metrics.add("hash.images", n as u64);
+        // Canonical renders are memoized once and shared read-only by
+        // every worker; per-post work is then jitter + the scratch-reuse
+        // hash kernel, which steady state allocates nothing.
+        // lint:allow(panic-reachable): the cache renders at fixed non-zero IMAGE_SIZE, so Image::filled's contract holds
+        let cache = RenderCache::build(dataset);
+        let n_chunks = n.div_ceil(chunk_len);
+        let mut worker_stats = vec![RenderStats::default(); n_chunks];
         let mut hashes = vec![PHash::default(); n];
         if !self.faults.enabled() {
             crossbeam::thread::scope(|s| {
-                for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+                for ((chunk_id, slot_chunk), stats) in hashes
+                    .chunks_mut(chunk_len)
+                    .enumerate()
+                    .zip(worker_stats.iter_mut())
+                {
+                    let cache = &cache;
                     s.spawn(move |_| {
                         // lint:allow(panic-reachable): new() uses the default hash/DCT sizes, which satisfy with_sizes' contract
                         let hasher = PerceptualHasher::new();
+                        let mut scratch = HashScratch::new();
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
                             let post = &dataset.posts[chunk_id * chunk_len + off];
                             // lint:allow(panic-reachable): post canvases render at fixed non-zero dimensions, so Image::filled's contract holds
-                            *slot = hasher.hash(&dataset.render_post_image(post));
+                            let img = dataset.render_post_cached(post, cache, stats);
+                            *slot = hasher.hash_into(img.as_image(), &mut scratch);
                         }
                     });
                 }
             })
             // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
             .expect("hashing worker panicked");
+            self.record_render_stats(&cache, &worker_stats);
             return Ok((hashes, Vec::new()));
         }
         let mut verdicts: Vec<ItemFault> = vec![ItemFault::Pass; n];
         let faults = &*self.faults;
         let attempt = self.attempt;
         crossbeam::thread::scope(|s| {
-            for ((chunk_id, slot_chunk), verdict_chunk) in hashes
+            for (((chunk_id, slot_chunk), verdict_chunk), stats) in hashes
                 .chunks_mut(chunk_len)
                 .enumerate()
                 .zip(verdicts.chunks_mut(chunk_len))
+                .zip(worker_stats.iter_mut())
             {
+                let cache = &cache;
                 s.spawn(move |_| {
                     // lint:allow(panic-reachable): new() uses the default hash/DCT sizes, which satisfy with_sizes' contract
                     let hasher = PerceptualHasher::new();
+                    let mut scratch = HashScratch::new();
                     for (off, (slot, verdict)) in slot_chunk
                         .iter_mut()
                         .zip(verdict_chunk.iter_mut())
@@ -761,7 +779,8 @@ impl Pipeline {
                         if *verdict == ItemFault::Pass {
                             let post = &dataset.posts[i];
                             // lint:allow(panic-reachable): post canvases render at fixed non-zero dimensions, so Image::filled's contract holds
-                            *slot = hasher.hash(&dataset.render_post_image(post));
+                            let img = dataset.render_post_cached(post, cache, stats);
+                            *slot = hasher.hash_into(img.as_image(), &mut scratch);
                         }
                         // Faulted items keep the PHash::default() sentinel.
                     }
@@ -770,7 +789,30 @@ impl Pipeline {
         })
         // lint:allow(panic-in-pipeline): crossbeam scope re-raises a worker panic; nothing to recover
         .expect("hashing worker panicked");
+        self.record_render_stats(&cache, &worker_stats);
         collect_item_verdicts(StageId::Hash, &verdicts, attempt, |i| i).map(|q| (hashes, q))
+    }
+
+    /// Publish the hash stage's render-cache accounting: hit/miss and
+    /// per-`ImageRef`-kind counters plus cache-size gauges, merged from
+    /// the per-worker [`RenderStats`] after the parallel section.
+    fn record_render_stats(&self, cache: &RenderCache, worker_stats: &[RenderStats]) {
+        let mut stats = RenderStats::default();
+        for s in worker_stats {
+            stats.merge(s);
+        }
+        self.metrics.add("hash.render_cache.hits", stats.hits);
+        self.metrics.add("hash.render_cache.misses", stats.misses);
+        self.metrics
+            .gauge("hash.render_cache.entries", cache.entries() as f64);
+        self.metrics
+            .gauge("hash.render_cache.bytes", cache.bytes() as f64);
+        self.metrics
+            .add("hash.rendered.meme_variant", stats.meme_variant);
+        self.metrics.add("hash.rendered.one_off", stats.one_off);
+        self.metrics
+            .add("hash.rendered.screenshot", stats.screenshot);
+        self.metrics.add("hash.rendered.blank", stats.blank);
     }
 
     /// Step 4 worker: filter galleries, hash survivors, build the site.

@@ -1,0 +1,179 @@
+//! Golden-hash regression corpus — the hash stage's byte-identity
+//! contract.
+//!
+//! The kernel rebuild (render cache, scratch-reuse pHash, truncated
+//! DCT) promises output **byte-identical** to the original
+//! render → resize → DCT → threshold path. These tests pin the exact
+//! 64-bit fingerprints of a seeded corpus covering every [`ImageRef`]
+//! kind, jittered and unjittered, so any kernel or cache change that
+//! perturbs even one bit fails loudly — the same swap-determinism
+//! discipline the Hamming engine (PR 4) and serving layer (PR 7) live
+//! under. A second suite asserts the cached render path equals the
+//! uncached one bit-for-bit at 1, 2, and 8 threads.
+//!
+//! If a change *intends* to alter the hash function itself, regenerate
+//! the constants with `print_golden_hashes` (`--ignored --nocapture`)
+//! and say so in the PR.
+
+use meme_phash::{HashScratch, ImageHasher, PHash, PerceptualHasher};
+use meme_simweb::{Dataset, ImageRef, Post, RenderCache, RenderStats, SimConfig, IMAGE_SIZE};
+
+fn dataset() -> Dataset {
+    SimConfig::tiny(7).generate()
+}
+
+/// The first post of each kind in corpus order, so the pinned hashes
+/// are stable against unrelated generator changes only if the corpus
+/// itself is unchanged — which is exactly the point.
+fn sample_posts(d: &Dataset) -> Vec<(&'static str, Post)> {
+    let first = |pred: fn(&ImageRef) -> bool| -> Post {
+        d.posts
+            .iter()
+            .find(|p| pred(&p.image))
+            .expect("tiny corpus covers every kind")
+            .clone()
+    };
+    let mut samples = vec![
+        (
+            "meme_variant",
+            first(|r| matches!(r, ImageRef::MemeVariant { .. })),
+        ),
+        ("one_off", first(|r| matches!(r, ImageRef::OneOff { .. }))),
+        (
+            "screenshot",
+            first(|r| matches!(r, ImageRef::Screenshot { .. })),
+        ),
+    ];
+    // The generator never emits blank posts (they are a fault-injection
+    // shape), so construct one on a real post's chassis.
+    let blank = Post {
+        image: ImageRef::Blank,
+        ..d.posts[0].clone()
+    };
+    samples.push(("blank", blank));
+    samples
+}
+
+/// Pinned fingerprints for `SimConfig::tiny(7)`, corpus order as
+/// produced by [`sample_posts`], plus the unjittered canonical render
+/// of meme 0 / variant 0 and its bare template.
+const GOLDEN: [(&str, &str); 6] = [
+    ("meme_variant", "9f75d04ae0cab8c9"),
+    ("one_off", "cec4393d9b9cd418"),
+    ("screenshot", "bf47407852252f67"),
+    ("blank", "0000000000000000"),
+    // Meme 0's variant 0 is the base variant (no structural ops), so
+    // its canonical render pins to the same bits as the bare template.
+    ("canonical_variant", "d6fe3811c9c160e7"),
+    ("template_base", "d6fe3811c9c160e7"),
+];
+
+/// Hash every sample through the production path (render cache +
+/// scratch kernel), in pinned order.
+fn current_hashes(d: &Dataset) -> Vec<(&'static str, PHash)> {
+    let cache = RenderCache::build(d);
+    let hasher = PerceptualHasher::new();
+    let mut scratch = HashScratch::new();
+    let mut stats = RenderStats::default();
+    let mut out: Vec<(&'static str, PHash)> = sample_posts(d)
+        .into_iter()
+        .map(|(kind, post)| {
+            let img = d.render_post_cached(&post, &cache, &mut stats);
+            (kind, hasher.hash_into(img.as_image(), &mut scratch))
+        })
+        .collect();
+    let canonical = d.universe.specs[0].variants[0].render(IMAGE_SIZE);
+    out.push((
+        "canonical_variant",
+        hasher.hash_into(&canonical, &mut scratch),
+    ));
+    let template = d.universe.specs[0].variants[0].template.render(IMAGE_SIZE);
+    out.push(("template_base", hasher.hash_into(&template, &mut scratch)));
+    out
+}
+
+#[test]
+fn golden_hashes_are_unchanged() {
+    let d = dataset();
+    let got = current_hashes(&d);
+    assert_eq!(got.len(), GOLDEN.len());
+    for ((kind, hash), (golden_kind, golden_hex)) in got.iter().zip(GOLDEN) {
+        assert_eq!(*kind, golden_kind, "sample order drifted");
+        let want: PHash = golden_hex
+            .parse()
+            .expect("golden constants are valid hex fingerprints");
+        assert_eq!(
+            *hash, want,
+            "{kind}: hash {hash} diverged from pinned {want}"
+        );
+    }
+}
+
+#[test]
+fn cached_and_uncached_hashes_agree_for_every_sample() {
+    let d = dataset();
+    let cache = RenderCache::build(&d);
+    let hasher = PerceptualHasher::new();
+    let mut scratch = HashScratch::new();
+    let mut stats = RenderStats::default();
+    for (kind, post) in sample_posts(&d) {
+        let cached = d.render_post_cached(&post, &cache, &mut stats);
+        let through_cache = hasher.hash_into(cached.as_image(), &mut scratch);
+        let direct = hasher.hash(&d.render_post_image(&post));
+        assert_eq!(through_cache, direct, "{kind} diverged through the cache");
+    }
+}
+
+/// The cached chunked driver, as `hash_posts` runs it (clean loop).
+fn hash_all_cached(d: &Dataset, cache: &RenderCache, threads: usize) -> Vec<PHash> {
+    let n = d.posts.len();
+    let chunk_len = n.div_ceil(threads);
+    let mut hashes = vec![PHash::default(); n];
+    crossbeam::thread::scope(|s| {
+        for (chunk_id, slot_chunk) in hashes.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move |_| {
+                let hasher = PerceptualHasher::new();
+                let mut scratch = HashScratch::new();
+                let mut stats = RenderStats::default();
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let post = &d.posts[chunk_id * chunk_len + off];
+                    let img = d.render_post_cached(post, cache, &mut stats);
+                    *slot = hasher.hash_into(img.as_image(), &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("hashing worker panicked");
+    hashes
+}
+
+#[test]
+fn cache_is_byte_identical_across_thread_counts() {
+    let d = dataset();
+    let cache = RenderCache::build(&d);
+    // Uncached single-threaded reference: the pre-change semantics.
+    let hasher = PerceptualHasher::new();
+    let reference: Vec<PHash> = d
+        .posts
+        .iter()
+        .map(|p| hasher.hash(&d.render_post_image(p)))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let got = hash_all_cached(&d, &cache, threads);
+        assert_eq!(
+            got, reference,
+            "cached hash stage at {threads} threads diverged from the uncached reference"
+        );
+    }
+}
+
+/// Regenerates the `GOLDEN` constants. Run with
+/// `cargo test -p meme-core --test golden_hash -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_golden_hashes() {
+    let d = dataset();
+    for (kind, hash) in current_hashes(&d) {
+        println!("    (\"{kind}\", \"{hash}\"),");
+    }
+}

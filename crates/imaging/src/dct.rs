@@ -71,6 +71,55 @@ impl Dct2d {
         self.mul_basis_right(&tmp)
     }
 
+    /// Truncated forward 2-D DCT-II: compute only the top-left
+    /// `hs × hs` low-frequency block of [`Dct2d::forward`]'s output,
+    /// writing into caller-provided buffers (`tmp` is the `hs × n`
+    /// partial product `C · X` restricted to its first `hs` rows).
+    ///
+    /// Every retained coefficient is produced by the *identical* dot
+    /// products in the *identical* accumulation order as the full
+    /// transform — row `k` of `C · X` never reads any other row, and
+    /// the right-hand multiply is an independent dot product per output
+    /// cell — so the block is bit-exact against `forward` followed by a
+    /// crop, at roughly `hs/n`-th of the flops. pHash only ever reads
+    /// this block (8×8 of 32×32), hence the dedicated entry point.
+    ///
+    /// # Panics
+    /// Panics when `hs > n`, `input.len() != n * n`,
+    /// `tmp.len() != hs * n`, or `out.len() != hs * hs`.
+    pub fn forward_topleft_into(&self, input: &[f64], hs: usize, tmp: &mut [f64], out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(input.len(), n * n, "input must be n*n");
+        assert!(hs <= n, "block size must not exceed the transform size");
+        assert_eq!(tmp.len(), hs * n, "tmp must be hs*n");
+        assert_eq!(out.len(), hs * hs, "out must be hs*hs");
+        // First hs rows of C * X, accumulated exactly like
+        // `mul_basis_left` (same i-order per row, same zero skip).
+        tmp.fill(0.0);
+        for k in 0..hs {
+            for i in 0..n {
+                let c = self.basis[k * n + i];
+                if c == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    tmp[k * n + j] += c * input[i * n + j];
+                }
+            }
+        }
+        // First hs columns of (C X) * C^T, dot products ordered exactly
+        // like `mul_basis_right_t`.
+        for i in 0..hs {
+            for k in 0..hs {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += tmp[i * n + j] * self.basis[k * n + j];
+                }
+                out[i * hs + k] = acc;
+            }
+        }
+    }
+
     fn mul_basis_left(&self, x: &[f64]) -> Vec<f64> {
         // (C X)[k][j] = sum_i C[k][i] X[i][j]
         let n = self.n;
@@ -239,5 +288,60 @@ mod tests {
     fn wrong_input_length_panics() {
         let plan = Dct2d::new(4);
         let _ = plan.forward(&[0.0; 15]);
+    }
+
+    #[test]
+    fn truncated_block_is_bit_exact_vs_full_then_crop() {
+        // The pHash kernel relies on this being *exact* equality, not
+        // approximate: the truncated path must produce the identical
+        // f64 bits as the full transform cropped to the block.
+        let n = 32;
+        let hs = 8;
+        let plan = Dct2d::new(n);
+        for seed in 0..4u64 {
+            let input: Vec<f64> = (0..n * n)
+                .map(|i| {
+                    let x = (i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed);
+                    (x >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect();
+            let full = plan.forward(&input);
+            let mut tmp = vec![0.0; hs * n];
+            let mut block = vec![0.0; hs * hs];
+            plan.forward_topleft_into(&input, hs, &mut tmp, &mut block);
+            for y in 0..hs {
+                for x in 0..hs {
+                    assert_eq!(
+                        block[y * hs + x].to_bits(),
+                        full[y * n + x].to_bits(),
+                        "coefficient ({y},{x}) diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_full_size_matches_forward() {
+        // hs == n degenerates to the full transform.
+        let n = 8;
+        let plan = Dct2d::new(n);
+        let input: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let full = plan.forward(&input);
+        let mut tmp = vec![0.0; n * n];
+        let mut out = vec![0.0; n * n];
+        plan.forward_topleft_into(&input, n, &mut tmp, &mut out);
+        assert_eq!(full, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "hs*n")]
+    fn truncated_wrong_tmp_length_panics() {
+        let plan = Dct2d::new(4);
+        let mut tmp = vec![0.0; 3];
+        let mut out = vec![0.0; 4];
+        plan.forward_topleft_into(&[0.0; 16], 2, &mut tmp, &mut out);
     }
 }

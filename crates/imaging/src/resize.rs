@@ -36,6 +36,100 @@ pub fn resize_box(src: &Image, dst_w: usize, dst_h: usize) -> Image {
     out
 }
 
+/// Cached box-filter geometry for [`resize_box_into_f64`].
+///
+/// The per-axis source windows depend only on the source/destination
+/// shapes, which are fixed for a hashing worker (always
+/// `input × input → 32 × 32`), so they are computed once and reused for
+/// every image. Steady state the windows never reallocate; geometry is
+/// recomputed only when the shape actually changes.
+#[derive(Debug, Clone, Default)]
+pub struct BoxResizeScratch {
+    src_w: usize,
+    src_h: usize,
+    dst_w: usize,
+    dst_h: usize,
+    /// Half-open source-column window `[x0, x1)` per destination column.
+    x_windows: Vec<(usize, usize)>,
+    /// Half-open source-row window `[y0, y1)` per destination row.
+    y_windows: Vec<(usize, usize)>,
+}
+
+impl BoxResizeScratch {
+    /// An empty scratch; geometry is computed on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make the cached windows match the requested geometry.
+    fn ensure(&mut self, src_w: usize, src_h: usize, dst_w: usize, dst_h: usize) {
+        if (self.src_w, self.src_h, self.dst_w, self.dst_h) == (src_w, src_h, dst_w, dst_h)
+            && !self.x_windows.is_empty()
+        {
+            return;
+        }
+        let x_ratio = src_w as f64 / dst_w as f64;
+        let y_ratio = src_h as f64 / dst_h as f64;
+        self.x_windows.clear();
+        for dx in 0..dst_w {
+            let x0 = (dx as f64 * x_ratio).floor() as usize;
+            let x1 = (((dx + 1) as f64 * x_ratio).ceil() as usize).clamp(x0 + 1, src_w);
+            self.x_windows.push((x0, x1));
+        }
+        self.y_windows.clear();
+        for dy in 0..dst_h {
+            let y0 = (dy as f64 * y_ratio).floor() as usize;
+            let y1 = (((dy + 1) as f64 * y_ratio).ceil() as usize).clamp(y0 + 1, src_h);
+            self.y_windows.push((y0, y1));
+        }
+        (self.src_w, self.src_h) = (src_w, src_h);
+        (self.dst_w, self.dst_h) = (dst_w, dst_h);
+    }
+}
+
+/// Box-resize `src` straight into a caller-provided `f64` plane —
+/// the allocation-free fast path of the pHash kernel.
+///
+/// Produces exactly `resize_box(src, dst_w, dst_h)` followed by an
+/// `as f64` widening of every pixel: each destination value accumulates
+/// its source rectangle in the identical row-major order and is rounded
+/// through `f32` before widening, so the plane is bit-identical to the
+/// allocating two-step path. The differences are mechanical only —
+/// window bounds come from the scratch instead of being re-derived per
+/// pixel, and rows are read as slices of the raw slab with no per-pixel
+/// `get()` index arithmetic.
+///
+/// # Panics
+/// Panics when a target dimension is zero or
+/// `out.len() != dst_w * dst_h`.
+pub fn resize_box_into_f64(
+    src: &Image,
+    dst_w: usize,
+    dst_h: usize,
+    scratch: &mut BoxResizeScratch,
+    out: &mut [f64],
+) {
+    assert!(dst_w > 0 && dst_h > 0, "target dimensions must be non-zero");
+    assert_eq!(out.len(), dst_w * dst_h, "output plane must be dst_w*dst_h");
+    let (sw, sh) = (src.width(), src.height());
+    scratch.ensure(sw, sh, dst_w, dst_h);
+    let data = src.data();
+    for dy in 0..dst_h {
+        let (y0, y1) = scratch.y_windows[dy];
+        for dx in 0..dst_w {
+            let (x0, x1) = scratch.x_windows[dx];
+            let mut acc = 0.0f64;
+            for sy in y0..y1 {
+                for &p in &data[sy * sw + x0..sy * sw + x1] {
+                    acc += p as f64;
+                }
+            }
+            let count = ((x1 - x0) * (y1 - y0)) as f64;
+            out[dy * dst_w + dx] = (acc / count) as f32 as f64;
+        }
+    }
+}
+
 /// Resize with bilinear interpolation; the right filter for upscaling and
 /// small adjustments (used by the scale-jitter perturbation).
 pub fn resize_bilinear(src: &Image, dst_w: usize, dst_h: usize) -> Image {
@@ -127,5 +221,55 @@ mod tests {
     fn zero_target_panics() {
         let src = Image::new(2, 2);
         let _ = resize_box(&src, 0, 1);
+    }
+
+    #[test]
+    fn into_f64_is_bit_exact_vs_resize_box() {
+        // The pHash kernel depends on exact equality, including the
+        // f32 rounding step, across even and awkward shrink ratios.
+        for (sw, sh) in [(64usize, 64usize), (57, 61), (33, 32), (8, 40)] {
+            let data: Vec<f32> = (0..sw * sh)
+                .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0)
+                .collect();
+            let src = Image::from_raw(sw, sh, data).unwrap();
+            let mut scratch = BoxResizeScratch::new();
+            for (dw, dh) in [(32usize, 32usize), (8, 8), (9, 8), (5, 7)] {
+                let reference = resize_box(&src, dw, dh);
+                let mut plane = vec![0.0f64; dw * dh];
+                resize_box_into_f64(&src, dw, dh, &mut scratch, &mut plane);
+                for (i, (&got, &want)) in plane.iter().zip(reference.data()).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        (want as f64).to_bits(),
+                        "{sw}x{sh}->{dw}x{dh} pixel {i} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_geometry_survives_shape_changes() {
+        let a = Image::filled(16, 16, 0.5);
+        let b = Image::filled(10, 12, 0.25);
+        let mut scratch = BoxResizeScratch::new();
+        let mut out = vec![0.0f64; 16];
+        resize_box_into_f64(&a, 4, 4, &mut scratch, &mut out);
+        assert!(out.iter().all(|p| (p - 0.5).abs() < 1e-6));
+        // Shape change re-derives the windows; same scratch, new geometry.
+        resize_box_into_f64(&b, 4, 4, &mut scratch, &mut out);
+        assert!(out.iter().all(|p| (p - 0.25).abs() < 1e-6));
+        // And back again.
+        resize_box_into_f64(&a, 4, 4, &mut scratch, &mut out);
+        assert!(out.iter().all(|p| (p - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "dst_w*dst_h")]
+    fn into_f64_wrong_plane_length_panics() {
+        let src = Image::new(4, 4);
+        let mut scratch = BoxResizeScratch::new();
+        let mut out = vec![0.0f64; 3];
+        resize_box_into_f64(&src, 2, 2, &mut scratch, &mut out);
     }
 }

@@ -61,13 +61,29 @@ impl TemplateGenome {
             })
             .collect();
         let n = size as f64;
+        // The field is separable: the x-cosine depends only on (x, u)
+        // and the y-cosine only on (y, v, phase), so the per-pixel
+        // `cos` calls collapse into two modes × size tables. The table
+        // entries and the per-pixel `amp * cx * cy` expression keep the
+        // exact operand order of the direct form, so the rendered image
+        // is bit-identical to evaluating `cos` per pixel.
+        let mut cx_tab = vec![0.0f64; modes.len() * size];
+        let mut cy_tab = vec![0.0f64; modes.len() * size];
+        for (m, &(u, v, _, phase)) in modes.iter().enumerate() {
+            for x in 0..size {
+                cx_tab[m * size + x] =
+                    (std::f64::consts::PI * (x as f64 + 0.5) * u as f64 / n).cos();
+            }
+            for y in 0..size {
+                cy_tab[m * size + y] =
+                    (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n + phase).cos();
+            }
+        }
         for y in 0..size {
             for x in 0..size {
                 let mut acc = 0.0f64;
-                for &(u, v, amp, phase) in &modes {
-                    let cx = (std::f64::consts::PI * (x as f64 + 0.5) * u as f64 / n).cos();
-                    let cy = (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n + phase).cos();
-                    acc += amp * cx * cy;
+                for (m, &(_, _, amp, _)) in modes.iter().enumerate() {
+                    acc += amp * cx_tab[m * size + x] * cy_tab[m * size + y];
                 }
                 img.set(x, y, acc as f32);
             }
@@ -276,17 +292,29 @@ impl VariantGenome {
         img
     }
 
-    /// Render one posted instance: the canonical image plus photometric
-    /// jitter drawn from `rng`.
-    pub fn render_jittered<R: Rng + ?Sized>(
-        &self,
-        size: usize,
-        jitter: &JitterConfig,
-        rng: &mut R,
-    ) -> Image {
-        let mut img = self.render(size);
+    /// Render the canonical image from an already-rendered template
+    /// base. `base` must equal `self.template.render(size)`; the result
+    /// is then byte-identical to [`VariantGenome::render`]. This is the
+    /// render-cache build path: one template render is shared by every
+    /// variant of the meme instead of being recomputed per variant.
+    pub fn render_with_base(&self, base: &Image) -> Image {
+        let mut img = base.clone();
+        for op in &self.ops {
+            img = op.apply(&img);
+        }
+        img
+    }
+
+    /// Apply one posted instance's photometric jitter to an
+    /// already-rendered canonical image. `base` must equal
+    /// `self.render(size)` for the result to be byte-identical to
+    /// [`VariantGenome::render_jittered`] with the same `rng` state:
+    /// the draw order is identical, and the first transform reads the
+    /// base without mutating it. This is the per-post hot path when the
+    /// canonical render comes from a cache.
+    pub fn jitter_base<R: Rng + ?Sized>(base: &Image, jitter: &JitterConfig, rng: &mut R) -> Image {
         let b = rng.random_range(-jitter.brightness..=jitter.brightness);
-        img = transform::brightness(&img, b);
+        let mut img = transform::brightness(base, b);
         let c = 1.0 + rng.random_range(-jitter.contrast..=jitter.contrast);
         img = transform::contrast(&img, c);
         if jitter.noise_sigma > 0.0 {
@@ -299,6 +327,18 @@ impl VariantGenome {
             img = transform::border_crop(&img, rng.random_range(0.0..jitter.crop_max));
         }
         img
+    }
+
+    /// Render one posted instance: the canonical image plus photometric
+    /// jitter drawn from `rng`.
+    pub fn render_jittered<R: Rng + ?Sized>(
+        &self,
+        size: usize,
+        jitter: &JitterConfig,
+        rng: &mut R,
+    ) -> Image {
+        let img = self.render(size);
+        Self::jitter_base(&img, jitter, rng)
     }
 }
 
@@ -368,6 +408,95 @@ mod tests {
         let mad = canon.mad(&jit).unwrap();
         assert!(mad > 0.0, "jitter must change pixels");
         assert!(mad < 0.2, "jitter must stay mild, mad {mad}");
+    }
+
+    /// The table-driven cosine field in `TemplateGenome::render` must be
+    /// bit-identical to evaluating `cos` per pixel — the render cache and
+    /// the golden-hash corpus both rest on this.
+    #[test]
+    fn table_render_matches_per_pixel_cosine_formula() {
+        for seed in [0u64, 7, 99, 0xDEAD] {
+            for size in [8usize, 32, 64] {
+                let got = TemplateGenome::new(seed).render(size);
+
+                // Reference: the pre-table per-pixel formulation, drawing
+                // from an identically seeded rng stream.
+                let mut rng = seeded_rng(child_seed(seed, 0xC0DE));
+                let mut img = Image::new(size, size);
+                let modes: Vec<(usize, usize, f64, f64)> = (0..6)
+                    .map(|_| {
+                        let u = rng.random_range(1..=5usize);
+                        let v = rng.random_range(1..=5usize);
+                        let amp = rng.random_range(0.35..1.0f64)
+                            * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                        let phase = rng.random_range(0.0..std::f64::consts::TAU);
+                        (u, v, amp, phase)
+                    })
+                    .collect();
+                let n = size as f64;
+                for y in 0..size {
+                    for x in 0..size {
+                        let mut acc = 0.0f64;
+                        for &(u, v, amp, phase) in &modes {
+                            let cx = (std::f64::consts::PI * (x as f64 + 0.5) * u as f64 / n).cos();
+                            let cy = (std::f64::consts::PI * (y as f64 + 0.5) * v as f64 / n
+                                + phase)
+                                .cos();
+                            acc += amp * cx * cy;
+                        }
+                        img.set(x, y, acc as f32);
+                    }
+                }
+                let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+                for &p in img.data() {
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+                let span = (hi - lo).max(1e-6);
+                img.map_in_place(|p| 0.15 + 0.7 * (p - lo) / span);
+                for _ in 0..3 {
+                    let cx = rng.random_range(0.2..0.8) * n;
+                    let cy = rng.random_range(0.2..0.8) * n;
+                    let r = rng.random_range(0.08..0.22) * n;
+                    let tone = if rng.random_bool(0.5) { 0.95 } else { 0.05 };
+                    img.blend_ellipse(cx, cy, r, r * rng.random_range(0.6..1.4), tone, 0.8);
+                }
+                img.clamp();
+
+                for (i, (&g, &w)) in got.data().iter().zip(img.data()).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "seed {seed} size {size} pixel {i} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_with_base_matches_render() {
+        for seed in [1u64, 5, 40] {
+            let t = TemplateGenome::new(seed);
+            let v = VariantGenome::random(t, seed ^ 0xA5, 3);
+            let base = t.render(64);
+            assert_eq!(v.render_with_base(&base).data(), v.render(64).data());
+        }
+    }
+
+    #[test]
+    fn jitter_base_matches_render_jittered() {
+        let jitter = JitterConfig::default();
+        for seed in [2u64, 9, 31] {
+            let t = TemplateGenome::new(seed);
+            let v = VariantGenome::random(t, seed.wrapping_mul(3), 2);
+            let canon = v.render(64);
+            let mut rng_a = meme_stats::seeded_rng(seed ^ 0xF00D);
+            let mut rng_b = meme_stats::seeded_rng(seed ^ 0xF00D);
+            let direct = v.render_jittered(64, &jitter, &mut rng_a);
+            let cached = VariantGenome::jitter_base(&canon, &jitter, &mut rng_b);
+            assert_eq!(direct.data(), cached.data(), "seed {seed} diverged");
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Hashing algorithms: DCT pHash plus the aHash/dHash baselines.
 
 use crate::hash64::PHash;
+use crate::scratch::HashScratch;
 use meme_imaging::dct::Dct2d;
 use meme_imaging::image::Image;
-use meme_imaging::resize::resize_box;
+use meme_imaging::resize::{resize_box, resize_box_into_f64};
 
 /// A perceptual hashing algorithm mapping an image to a 64-bit
 /// fingerprint. The pipeline (`meme-core`) is generic over this trait so
@@ -11,6 +12,18 @@ use meme_imaging::resize::resize_box;
 pub trait ImageHasher {
     /// Hash an image.
     fn hash(&self, img: &Image) -> PHash;
+
+    /// Hash an image reusing caller-owned [`HashScratch`] buffers.
+    ///
+    /// Returns exactly what [`ImageHasher::hash`] returns; the scratch
+    /// only amortizes allocations across calls. Hashing workers hold one
+    /// scratch each and call this in their hot loop. The default simply
+    /// delegates to `hash`; algorithms with allocation-free kernels
+    /// override it.
+    fn hash_into(&self, img: &Image, scratch: &mut HashScratch) -> PHash {
+        let _ = scratch;
+        self.hash(img)
+    }
 
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;
@@ -67,26 +80,49 @@ impl Default for PerceptualHasher {
 
 impl ImageHasher for PerceptualHasher {
     fn hash(&self, img: &Image) -> PHash {
-        let n = self.plan.n();
-        let small = resize_box(img, n, n);
-        let pixels: Vec<f64> = small.data().iter().map(|&p| p as f64).collect();
-        let coeffs = self.plan.forward(&pixels);
+        // One-shot convenience wrapper: there is exactly one live kernel
+        // (`hash_into`), so the cached, uncached, and scratch-reuse paths
+        // cannot drift apart.
+        self.hash_into(img, &mut HashScratch::new())
+    }
 
-        // Top-left hash_size x hash_size low-frequency block.
+    // The pipeline's hash stage funnels every image through this kernel;
+    // steady state it must not allocate (see crates/phash/tests/no_alloc.rs).
+    // lint:hotpath(per-image pHash kernel; the scratch buffers amortize allocation)
+    fn hash_into(&self, img: &Image, scratch: &mut HashScratch) -> PHash {
+        let n = self.plan.n();
         let hs = self.hash_size;
-        let mut block = Vec::with_capacity(hs * hs);
-        for y in 0..hs {
-            for x in 0..hs {
-                block.push(coeffs[y * n + x]);
-            }
-        }
-        // Median threshold over the block (ImageHash convention).
-        let mut sorted = block.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("DCT output is finite"));
-        let median = (sorted[hs * hs / 2 - 1] + sorted[hs * hs / 2]) / 2.0;
+        scratch.plane.resize(n * n, 0.0);
+        scratch.tmp.resize(hs * n, 0.0);
+        scratch.block.resize(hs * hs, 0.0);
+
+        // Resize straight into the f64 DCT input plane, then compute only
+        // the top-left hash_size × hash_size low-frequency block. Both
+        // steps are bit-identical to the allocating resize → full DCT →
+        // crop path (and `forward_topleft_into` emits the block already
+        // in the row-major `coeffs[y * n + x]` order the bits read).
+        resize_box_into_f64(img, n, n, &mut scratch.resize, &mut scratch.plane);
+        self.plan
+            .forward_topleft_into(&scratch.plane, hs, &mut scratch.tmp, &mut scratch.block);
+
+        // Median threshold over the block (ImageHash convention), via
+        // total-order selection instead of a `partial_cmp(..).expect(..)`
+        // full sort: `total_cmp` and `partial_cmp` order finite values
+        // identically (they can disagree only on NaN, which the DCT of
+        // finite pixels never produces, and on -0.0 vs +0.0 ties — whose
+        // values are numerically equal, leaving the median unchanged).
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(&scratch.block);
+        let half = hs * hs / 2;
+        let (_, lo, rest) = scratch
+            .sorted
+            .select_nth_unstable_by(half - 1, f64::total_cmp);
+        let lo = *lo;
+        let hi = rest.iter().copied().min_by(f64::total_cmp).unwrap_or(lo);
+        let median = (lo + hi) / 2.0;
 
         let mut bits = 0u64;
-        for (i, &c) in block.iter().enumerate() {
+        for (i, &c) in scratch.block.iter().enumerate() {
             if c > median {
                 bits |= 1u64 << (63 - i);
             }
@@ -313,6 +349,40 @@ mod tests {
         assert_eq!(AverageHasher.name(), "ahash");
         assert_eq!(DifferenceHasher.name(), "dhash");
         assert_eq!(PerceptualHasher::new().name(), "phash");
+    }
+
+    #[test]
+    fn hash_into_matches_hash_with_reused_scratch() {
+        let h = hasher();
+        let mut scratch = HashScratch::new();
+        let mut rng = seeded_rng(33);
+        for seed in 0..6 {
+            let v = VariantGenome::random(TemplateGenome::new(seed), seed, 2);
+            for _ in 0..4 {
+                let img = v.render_jittered(64, &JitterConfig::default(), &mut rng);
+                assert_eq!(h.hash_into(&img, &mut scratch), h.hash(&img));
+            }
+        }
+        // Shape changes between calls must not corrupt the scratch.
+        let small = TemplateGenome::new(40).render(32);
+        let big = TemplateGenome::new(41).render(128);
+        assert_eq!(h.hash_into(&small, &mut scratch), h.hash(&small));
+        assert_eq!(h.hash_into(&big, &mut scratch), h.hash(&big));
+        assert_eq!(h.hash_into(&small, &mut scratch), h.hash(&small));
+    }
+
+    #[test]
+    fn default_hash_into_delegates_to_hash() {
+        let img = TemplateGenome::new(16).render(64);
+        let mut scratch = HashScratch::new();
+        assert_eq!(
+            AverageHasher.hash_into(&img, &mut scratch),
+            AverageHasher.hash(&img)
+        );
+        assert_eq!(
+            DifferenceHasher.hash_into(&img, &mut scratch),
+            DifferenceHasher.hash(&img)
+        );
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 pub mod hash64;
 pub mod hashers;
+pub mod scratch;
 
 pub use hash64::{swar_distance, swar_popcount, Hash64ParseError, PHash, MAX_DISTANCE};
 pub use hashers::{AverageHasher, DifferenceHasher, ImageHasher, PerceptualHasher};
+pub use scratch::HashScratch;

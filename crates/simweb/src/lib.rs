@@ -33,6 +33,7 @@ pub mod dataset;
 pub mod execfault;
 pub mod fault;
 pub mod kymgen;
+pub mod rendercache;
 pub mod universe;
 
 pub use cascade::{generate_cascade, CascadeConfig, CascadeEvent};
@@ -44,4 +45,5 @@ pub use execfault::{
 };
 pub use fault::{FaultReport, FaultSpec};
 pub use kymgen::{generate_kym, GalleryImage, KymGenConfig, RawKymEntry, RawKymSite};
+pub use rendercache::{RenderCache, RenderStats, Rendered};
 pub use universe::{MemeGroup, MemeSpec, Universe, UniverseConfig};
