@@ -19,7 +19,9 @@ use crate::source::{FileClass, SourceFile};
 
 /// Crates whose lib code must stay panic-free. Shared with the
 /// interprocedural `panic-reachable` rule so both scope identically.
-pub(crate) const SCOPED_CRATES: [&str; 5] = ["core", "index", "annotate", "cluster", "serve"];
+pub(crate) const SCOPED_CRATES: [&str; 7] = [
+    "core", "index", "annotate", "cluster", "serve", "stats", "hawkes",
+];
 
 /// Panicking macros. Shared with `panic-reachable`'s source detection.
 pub(crate) const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -138,8 +140,22 @@ mod tests {
             "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\n"
         )
         .is_empty());
-        let file = SourceFile::new("crates/stats/src/x.rs", "fn f() { a.unwrap(); }\n");
+        let file = SourceFile::new("crates/imaging/src/x.rs", "fn f() { a.unwrap(); }\n");
         assert!(!PanicInPipeline.applies(&file));
+    }
+
+    #[test]
+    fn stats_and_hawkes_are_in_scope() {
+        // The statistical kernels feed every pipeline stage and the
+        // influence estimation; a NaN-provoked panic there takes down
+        // the whole run, so both crates sit inside the rule's scope.
+        for path in ["crates/stats/src/x.rs", "crates/hawkes/src/x.rs"] {
+            let file = SourceFile::new(path, "");
+            assert!(
+                PanicInPipeline.applies(&file),
+                "{path} must be scanned by panic-in-pipeline"
+            );
+        }
     }
 
     #[test]

@@ -19,3 +19,4 @@ pub mod baseline;
 pub mod harness;
 pub mod legacy;
 pub mod sections;
+pub mod serveload;

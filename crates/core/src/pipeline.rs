@@ -1106,7 +1106,6 @@ impl PipelineOutput {
         threads: usize,
     ) -> Result<ClusterInfluence, PipelineError> {
         let streams = self.try_all_cluster_events(dataset)?;
-        // lint:allow(panic-reachable): estimate validates event streams before EM, so parent_probabilities' contract holds
         Ok(estimator.estimate(&streams, dataset.horizon(), threads)?)
     }
 
@@ -1138,7 +1137,6 @@ impl PipelineOutput {
         let span = metrics.span("pipeline/influence");
         // lint:allow(panic-reachable): this output was produced by the running pipeline, not a deserialized checkpoint; cluster ids are in range
         let streams = self.all_cluster_events(dataset);
-        // lint:allow(panic-reachable): estimate_robust downgrades bad fits to degradations; parent_probabilities' contract holds for surviving streams
         let robust = estimator.estimate_robust(&streams, dataset.horizon(), threads);
         let elapsed = span.finish();
         let annotated = self.annotated_clusters();

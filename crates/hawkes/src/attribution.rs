@@ -82,6 +82,7 @@ pub fn parent_probabilities(model: &HawkesModel, events: &[Event]) -> Vec<Parent
 /// event caused by parent `j` inherits `j`'s root distribution.
 pub fn root_causes(model: &HawkesModel, events: &[Event]) -> Vec<Vec<f64>> {
     let k = model.k();
+    // lint:allow(panic-reachable): inherits parent_probabilities' contract (sorted events, in-range process ids); every caller feeds pipeline-validated streams
     let dists = parent_probabilities(model, events);
     let mut roots: Vec<Vec<f64>> = Vec::with_capacity(events.len());
     for (i, pd) in dists.iter().enumerate() {

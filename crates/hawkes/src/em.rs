@@ -237,6 +237,19 @@ pub fn impulse_histogram(
             "max_lag must be finite and positive".into(),
         ));
     }
+    // Re-check the parent-probability contract so a malformed stream
+    // surfaces as a typed error rather than the assert inside
+    // `parent_probabilities`.
+    let sorted = events
+        .iter()
+        .zip(events.iter().skip(1))
+        .all(|(a, b)| a.t <= b.t);
+    if !sorted || events.iter().any(|e| e.process >= model.k()) {
+        return Err(HawkesError::InvalidParameter(
+            "events must be sorted by time with in-range process ids".into(),
+        ));
+    }
+    // lint:allow(panic-reachable): the contract asserts cannot fire — sortedness and process range are validated just above
     let dists = crate::attribution::parent_probabilities(model, events);
     let width = max_lag / bins as f64;
     let mut hist = vec![0.0f64; bins];

@@ -153,11 +153,13 @@ pub fn fit_gibbs<R: Rng + ?Sized>(
                     weights.push(a);
                 }
             }
-            z[i] = if weights.len() == 1 || weights.iter().sum::<f64>() <= 0.0 {
-                usize::MAX
-            } else {
-                let cat = Categorical::new(&weights).expect("weights are positive and finite");
-                cand_idx[cat.sample(rng)]
+            z[i] = match Categorical::new(&weights) {
+                Ok(cat) if weights.len() > 1 => cand_idx[cat.sample(rng)],
+                // A single candidate (background only) or degenerate
+                // weights (all zero, or overflowed to non-finite): fall
+                // back to a background attribution for this event
+                // rather than aborting the whole sweep.
+                _ => usize::MAX,
             };
         }
 
@@ -173,21 +175,24 @@ pub fn fit_gibbs<R: Rng + ?Sized>(
         }
 
         // --- Conjugate updates.
+        // The prior shapes/rates are validated positive, so these Gamma
+        // constructions cannot fail for finite counts; on a degenerate
+        // (overflowed) parameter the previous sweep's draw is retained
+        // instead of aborting the run.
         for dst in 0..k {
             let shape = config.mu_prior_shape + bg_count[dst] as f64;
             let rate = config.mu_prior_rate + horizon;
-            mu[dst] = Gamma::new(shape, 1.0 / rate)
-                .expect("valid Gamma parameters")
-                .sample(rng)
-                .max(1e-12);
+            if let Ok(g) = Gamma::new(shape, 1.0 / rate) {
+                mu[dst] = g.sample(rng).max(1e-12);
+            }
         }
         for src in 0..k {
             for dst in 0..k {
                 let shape = config.w_prior_shape + off_count[src][dst] as f64;
                 let rate = config.w_prior_rate + exposure[src];
-                w[src][dst] = Gamma::new(shape, 1.0 / rate)
-                    .expect("valid Gamma parameters")
-                    .sample(rng);
+                if let Ok(g) = Gamma::new(shape, 1.0 / rate) {
+                    w[src][dst] = g.sample(rng);
+                }
             }
         }
 

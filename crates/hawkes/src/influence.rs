@@ -269,9 +269,11 @@ impl InfluenceEstimator {
             }
             handles
                 .into_iter()
+                // lint:allow(panic-in-pipeline): a worker panic is deliberately re-raised on the caller thread
                 .map(|h| h.join().expect("no panic"))
                 .collect()
         })
+        // lint:allow(panic-in-pipeline): scope() is Err only when a worker panicked; re-raise, don't swallow
         .expect("worker thread panicked");
         if let Some(e) = errors.into_iter().flatten().next() {
             return Err(e);
@@ -348,12 +350,14 @@ impl InfluenceEstimator {
                 let mut skipped = Vec::new();
                 let mut fit_stats = Vec::new();
                 for h in handles {
+                    // lint:allow(panic-in-pipeline): a worker panic is deliberately re-raised on the caller thread
                     let (sk, st) = h.join().expect("no panic");
                     skipped.extend(sk);
                     fit_stats.extend(st);
                 }
                 (skipped, fit_stats)
             })
+            // lint:allow(panic-in-pipeline): scope() is Err only when a worker panicked; re-raise, don't swallow
             .expect("worker thread panicked");
 
         let mut total = InfluenceMatrix::zeros(k);
@@ -475,7 +479,7 @@ pub fn bootstrap_ci(
     if per_cluster.is_empty() || resamples == 0 || !(0.0..1.0).contains(&level) {
         return None;
     }
-    let k = per_cluster[0].k();
+    let k = per_cluster.first()?.k();
     let n = per_cluster.len();
     let mut rng = seeded_rng(seed);
     // samples[cell] = resampled percent values.
@@ -494,7 +498,7 @@ pub fn bootstrap_ci(
     }
     let alpha = (1.0 - level) / 2.0;
     let quantile = |xs: &mut Vec<f64>, q: f64| -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.sort_by(f64::total_cmp);
         let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
         xs[rank - 1]
     };

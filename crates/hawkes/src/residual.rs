@@ -89,7 +89,7 @@ pub fn residual_analysis(
 /// Returns `(statistic, asymptotic p-value)`.
 pub fn ks_exp1(sample: &[f64]) -> (f64, f64) {
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("residuals are finite"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in xs.iter().enumerate() {

@@ -87,9 +87,13 @@ pub fn simulate_branching<R: Rng + ?Sized>(
         if model.mu[proc] <= 0.0 {
             continue;
         }
-        let n = Poisson::new(model.mu[proc] * horizon)
-            .expect("validated rate")
-            .sample(rng);
+        // Validated rates make this constructible; a degenerate
+        // (overflowed) rate contributes no immigrants instead of
+        // aborting the simulation.
+        let Ok(dist) = Poisson::new(model.mu[proc] * horizon) else {
+            continue;
+        };
+        let n = dist.sample(rng);
         for _ in 0..n {
             arena.push(Node {
                 t: rng.random::<f64>() * horizon,
@@ -100,9 +104,13 @@ pub fn simulate_branching<R: Rng + ?Sized>(
     }
 
     // Offspring cascade (breadth via work queue over arena indices).
-    let delay = Exponential::new(model.beta).expect("validated beta");
+    // `HawkesModel` validation guarantees beta > 0 and finite, so the
+    // delay distribution always constructs; defensively, an
+    // unconstructible delay means no offspring can be placed.
+    let delay = Exponential::new(model.beta).ok();
     let mut cursor = 0usize;
     while cursor < arena.len() {
+        let Some(delay) = delay else { break };
         let (t0, src) = (arena[cursor].t, arena[cursor].process);
         for dst in 0..k {
             let w = model.w[src][dst];
@@ -110,7 +118,10 @@ pub fn simulate_branching<R: Rng + ?Sized>(
             if w <= 0.0 {
                 continue;
             }
-            let n = Poisson::new(w).expect("validated weight").sample(rng);
+            let Ok(branching) = Poisson::new(w) else {
+                continue;
+            };
+            let n = branching.sample(rng);
             for _ in 0..n {
                 let t = t0 + delay.sample(rng);
                 if t < horizon {
@@ -127,12 +138,7 @@ pub fn simulate_branching<R: Rng + ?Sized>(
 
     // Sort by time and remap parent indices.
     let mut order: Vec<usize> = (0..arena.len()).collect();
-    order.sort_by(|&a, &b| {
-        arena[a]
-            .t
-            .partial_cmp(&arena[b].t)
-            .expect("times are finite")
-    });
+    order.sort_by(|&a, &b| arena[a].t.total_cmp(&arena[b].t));
     let mut rank = vec![0usize; arena.len()];
     for (new_idx, &old_idx) in order.iter().enumerate() {
         rank[old_idx] = new_idx;
@@ -179,7 +185,12 @@ pub fn simulate_thinning<R: Rng + ?Sized>(
         if bound <= 0.0 {
             break;
         }
-        let dt = Exponential::new(bound).expect("positive bound").sample(rng);
+        // `bound > 0.0` is checked just above; a non-finite bound (an
+        // exploding intensity) ends the simulation instead of panicking.
+        let Ok(wait) = Exponential::new(bound) else {
+            break;
+        };
+        let dt = wait.sample(rng);
         let t_new = t + dt;
         if t_new >= horizon {
             break;

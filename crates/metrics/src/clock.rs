@@ -1,0 +1,67 @@
+//! Monotonic deadlines for connection lifecycle enforcement.
+//!
+//! The workspace confines wall-clock reads to this crate
+//! (`wallclock-outside-metrics`, DESIGN.md §8) so that timing stays
+//! centralized and mockable. Spans cover *measurement*; [`Deadline`]
+//! covers *enforcement* — the serving layer needs "this request line
+//! must complete within its read budget" without reading `Instant`
+//! itself. A `Deadline` is a start instant plus a budget; callers only
+//! ever ask whether it has expired.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic deadline: a fixed time budget measured from creation.
+///
+/// Used by the serve connection readers to bound how long one request
+/// line may take end to end. A socket read timeout alone only bounds
+/// the gap *between* bytes — a client trickling one byte per interval
+/// ("slow loris") resets it forever; the deadline does not reset.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Whether the budget has been exhausted.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Budget not yet spent (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_budget_and_eventually_expires() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(3000));
+
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn expires_after_the_budget_elapses() {
+        let d = Deadline::within(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+}

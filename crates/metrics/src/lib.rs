@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod json;
 mod registry;
 mod span;
 
+pub use clock::Deadline;
 pub use registry::{HistogramSnapshot, Registry, Snapshot, SpanStats, SCHEMA_VERSION};
 pub use span::Span;
 

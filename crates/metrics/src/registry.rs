@@ -54,7 +54,7 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     fn new(bounds: &[f64]) -> Self {
         let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
-        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.sort_by(f64::total_cmp);
         bounds.dedup();
         let n = bounds.len();
         Self {

@@ -11,16 +11,36 @@
 //! `batch_max` and throughput rises. The observed batch-size histogram
 //! (`serve.batch_size`) makes the regime visible.
 //!
+//! The queue is **bounded**: when arrivals outpace the worker pool the
+//! depth stops at `capacity` and [`BatchQueue::try_push`] reports
+//! [`Push::Full`] instead of queueing unboundedly. The caller turns
+//! that into backpressure — the server answers `{"error":"overloaded"}`
+//! and counts `serve.shed` — so overload degrades into typed rejections
+//! with bounded memory, never into an ever-growing latency cliff.
+//!
 //! [`SnapshotStore`]: crate::SnapshotStore
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
 
-/// A blocking MPMC queue with batched draining and shutdown.
+/// Outcome of a [`BatchQueue::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The item was enqueued and a worker will answer it.
+    Accepted,
+    /// The queue is at capacity; the item was rejected (backpressure —
+    /// the caller sheds the request with a typed response).
+    Full,
+    /// The queue has been closed for shutdown; the item was rejected.
+    Closed,
+}
+
+/// A blocking bounded MPMC queue with batched draining and shutdown.
 #[derive(Debug)]
 pub struct BatchQueue<T> {
     inner: Mutex<QueueState<T>>,
     ready: Condvar,
+    capacity: usize,
 }
 
 #[derive(Debug)]
@@ -36,29 +56,44 @@ impl<T> Default for BatchQueue<T> {
 }
 
 impl<T> BatchQueue<T> {
-    /// An open, empty queue.
+    /// An open, empty, effectively unbounded queue.
     pub fn new() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// An open, empty queue holding at most `capacity` items (at least
+    /// one; a zero capacity could never admit anything).
+    pub fn bounded(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity: capacity.max(1),
         }
     }
 
-    /// Enqueue one item. Returns `false` (dropping the item) when the
-    /// queue has been closed — arrivals during shutdown are rejected,
-    /// not silently queued forever.
-    pub fn push(&self, item: T) -> bool {
+    /// This queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue one item. Arrivals during shutdown get [`Push::Closed`];
+    /// arrivals past `capacity` get [`Push::Full`] — in both cases the
+    /// item is dropped, never silently queued forever.
+    pub fn try_push(&self, item: T) -> Push {
         let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed {
-            return false;
+            return Push::Closed;
+        }
+        if state.items.len() >= self.capacity {
+            return Push::Full;
         }
         state.items.push_back(item);
         drop(state);
         self.ready.notify_one();
-        true
+        Push::Accepted
     }
 
     /// Block until at least one item is available (or the queue closes),
@@ -121,7 +156,7 @@ mod tests {
     fn drains_in_batches_up_to_max() {
         let q = BatchQueue::new();
         for i in 0..10 {
-            assert!(q.push(i));
+            assert_eq!(q.try_push(i), Push::Accepted);
         }
         let mut out = Vec::new();
         assert_eq!(q.drain_into(4, &mut out), 4);
@@ -148,17 +183,45 @@ mod tests {
             })
         };
         for i in 0..5 {
-            assert!(q.push(i));
+            assert_eq!(q.try_push(i), Push::Accepted);
         }
         q.close();
-        assert!(!q.push(99), "pushes after close must be rejected");
+        assert_eq!(
+            q.try_push(99),
+            Push::Closed,
+            "pushes after close must be rejected"
+        );
         assert_eq!(worker.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_and_recovers_after_drain() {
+        let q = BatchQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.try_push(1u32), Push::Accepted);
+        assert_eq!(q.try_push(2), Push::Accepted);
+        assert_eq!(q.try_push(3), Push::Full, "third push must shed");
+        assert_eq!(q.len(), 2, "rejected items are not queued");
+
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(1, &mut out), 1);
+        assert_eq!(q.try_push(4), Push::Accepted, "room frees after a drain");
+        assert_eq!(q.drain_into(10, &mut out), 2);
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BatchQueue::bounded(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(7u32), Push::Accepted);
+        assert_eq!(q.try_push(8), Push::Full);
     }
 
     #[test]
     fn zero_max_still_makes_progress() {
         let q = BatchQueue::new();
-        q.push(7u32);
+        q.try_push(7u32);
         let mut out = Vec::new();
         assert_eq!(q.drain_into(0, &mut out), 1);
     }

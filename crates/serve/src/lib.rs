@@ -21,8 +21,11 @@
 //! - [`SnapshotStore`]: epoch-swapped publication — reload a new
 //!   artifact under live traffic; readers pin a generation per batch
 //!   and never pause.
-//! - [`BatchQueue`] + [`Server`]: the micro-batching TCP front end
-//!   speaking a line-delimited JSON [`protocol`].
+//! - [`BatchQueue`] + [`ConnRegistry`] + [`Server`]: the micro-batching
+//!   TCP front end speaking a line-delimited JSON [`protocol`], with a
+//!   production-hardened connection lifecycle — admission caps, bounded
+//!   request lines, per-line read deadlines, typed load shedding, and a
+//!   graceful drain that joins every thread (DESIGN.md §12).
 //!
 //! The `memes serve` / `memes lookup` subcommands and the
 //! `serve-load` closed-loop benchmark (`BENCH_serve.json`) sit on top
@@ -35,13 +38,15 @@ pub mod artifact;
 pub mod batch;
 pub mod error;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 
 pub use artifact::load_output;
-pub use batch::BatchQueue;
+pub use batch::{BatchQueue, Push};
 pub use error::ServeError;
+pub use registry::ConnRegistry;
 pub use server::{Server, ServerConfig};
 pub use snapshot::{LookupHit, MemeRecord, ServeScratch, Snapshot, DEFAULT_THETA};
 pub use store::SnapshotStore;

@@ -190,6 +190,39 @@ pub fn render_error(buf: &mut String, detail: &str) {
     buf.push('}');
 }
 
+/// The load-shedding rejection, byte-for-byte: sent at accept time when
+/// the connection cap is reached and at admission time when the batch
+/// queue is full. Clients key on the exact string.
+pub const OVERLOADED: &str = "{\"error\":\"overloaded\"}";
+
+/// The idle/slow-read rejection, byte-for-byte: sent when a connection
+/// produces no complete request line within its read budget (an idle
+/// holder or a slow-loris trickle), after which the connection closes.
+pub const READ_TIMEOUT: &str = "{\"error\":\"read timeout\"}";
+
+/// Render the typed shed response into `buf` (cleared first).
+pub fn render_overloaded(buf: &mut String) {
+    buf.clear();
+    buf.push_str(OVERLOADED);
+}
+
+/// Render the typed read-timeout response into `buf` (cleared first).
+pub fn render_timeout(buf: &mut String) {
+    buf.clear();
+    buf.push_str(READ_TIMEOUT);
+}
+
+/// Render the typed oversized-line rejection into `buf` (cleared
+/// first): the request line exceeded `max_line_bytes` before a newline
+/// arrived, and the connection closes without ever buffering the rest.
+pub fn render_line_too_long(buf: &mut String, max_line_bytes: usize) {
+    buf.clear();
+    let _ = write!(
+        buf,
+        "{{\"error\":\"request line exceeds {max_line_bytes} bytes\"}}"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +281,20 @@ mod tests {
         render_reloaded(&mut buf, 2, 9);
         assert!(serde_json::from_str::<Value>(&buf).is_ok(), "{buf}");
         render_error(&mut buf, "bad \"quoted\" thing\n");
+        assert!(serde_json::from_str::<Value>(&buf).is_ok(), "{buf}");
+    }
+
+    #[test]
+    fn lifecycle_rejections_are_valid_json_and_stable() {
+        let mut buf = String::new();
+        render_overloaded(&mut buf);
+        assert_eq!(buf, OVERLOADED);
+        assert!(serde_json::from_str::<Value>(&buf).is_ok(), "{buf}");
+        render_timeout(&mut buf);
+        assert_eq!(buf, READ_TIMEOUT);
+        assert!(serde_json::from_str::<Value>(&buf).is_ok(), "{buf}");
+        render_line_too_long(&mut buf, 4096);
+        assert!(buf.contains("4096 bytes"), "{buf}");
         assert!(serde_json::from_str::<Value>(&buf).is_ok(), "{buf}");
     }
 }

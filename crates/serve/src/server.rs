@@ -9,31 +9,50 @@
 //! `reload`) are rare and run inline on the reader thread, so the hot
 //! path stays a pure hash-in/record-out pipeline.
 //!
-//! Shutdown is cooperative and panic-free: [`Server::shutdown`] raises
-//! the stop flag, unblocks the acceptor with a loopback connection,
-//! closes the queue (workers drain what is left, then exit), and joins
-//! the acceptor and workers. Connection readers are detached — they
-//! exit when their client hangs up or when a push is rejected by the
-//! closed queue.
+//! The connection lifecycle is hardened against hostile traffic
+//! (DESIGN.md §12 "Connection lifecycle and overload"):
+//!
+//! * every reader thread is registered in a [`ConnRegistry`] and
+//!   joined — never detached;
+//! * accepts past `max_conns` are shed with the typed
+//!   [`OVERLOADED`](crate::protocol::OVERLOADED) response
+//!   (`serve.shed`), so thread count is bounded by cap + workers;
+//! * a request line must complete within `read_timeout_ms` measured
+//!   from the moment the reader starts waiting for it — a socket read
+//!   timeout alone only bounds the gap between bytes, which a
+//!   slow-loris trickle resets forever — and may not exceed
+//!   `max_line_bytes`, so reader memory is bounded too;
+//! * the admission queue is bounded (`queue_max`); arrivals past
+//!   capacity are shed typed rather than queued unboundedly.
+//!
+//! Shutdown is cooperative, panic-free, and complete:
+//! [`Server::shutdown`] raises the stop flag, unblocks the acceptor
+//! with a loopback connection and joins it, drains the registry
+//! (socket shutdown unblocks parked readers instantly; every reader is
+//! joined), closes the queue (workers drain what is left, then exit),
+//! and joins the workers. No detached threads remain.
 
 use crate::artifact::load_output;
-use crate::batch::BatchQueue;
+use crate::batch::{BatchQueue, Push};
 use crate::error::ServeError;
 use crate::protocol::{
-    parse_request, render_error, render_hit, render_miss, render_reloaded, render_stats, Request,
+    parse_request, render_error, render_hit, render_line_too_long, render_miss, render_overloaded,
+    render_reloaded, render_stats, render_timeout, Request,
 };
+use crate::registry::ConnRegistry;
 use crate::snapshot::{ServeScratch, Snapshot, DEFAULT_THETA};
 use crate::store::SnapshotStore;
-use meme_metrics::{Metrics, Span, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US};
+use meme_metrics::{Deadline, Metrics, Span, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US};
 use meme_phash::PHash;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// How a [`Server`] listens and schedules work.
+/// How a [`Server`] listens, schedules work, and bounds its clients.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (read it back via
@@ -47,6 +66,21 @@ pub struct ServerConfig {
     pub allow_reload: bool,
     /// Association threshold for snapshots built by `reload`.
     pub theta: u32,
+    /// Most connections served concurrently; accepts past the cap are
+    /// shed with the typed `{"error":"overloaded"}` response.
+    pub max_conns: usize,
+    /// Budget, in milliseconds, for one complete request line — from
+    /// the reader starting to wait for it to its terminating newline.
+    /// Idle holders and slow-loris trickles both exhaust it and get the
+    /// typed `{"error":"read timeout"}` response before the close.
+    pub read_timeout_ms: u64,
+    /// Longest accepted request line; a newline-free stream is rejected
+    /// (typed) and disconnected once it exceeds this, so one client can
+    /// never grow a reader buffer without bound.
+    pub max_line_bytes: usize,
+    /// Admission-queue capacity; arrivals past it are shed typed
+    /// (backpressure) instead of queueing unboundedly.
+    pub queue_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +91,10 @@ impl Default for ServerConfig {
             batch_max: 32,
             allow_reload: false,
             theta: DEFAULT_THETA,
+            max_conns: 64,
+            read_timeout_ms: 5_000,
+            max_line_bytes: 64 * 1024,
+            queue_max: 1024,
         }
     }
 }
@@ -76,8 +114,27 @@ struct ConnShared {
     queue: Arc<BatchQueue<Job>>,
     metrics: Metrics,
     queries: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
     allow_reload: bool,
     theta: u32,
+    read_timeout: Duration,
+    max_line_bytes: usize,
+}
+
+impl ConnShared {
+    fn clone_for_conn(&self) -> ConnShared {
+        ConnShared {
+            store: Arc::clone(&self.store),
+            queue: Arc::clone(&self.queue),
+            metrics: self.metrics.clone(),
+            queries: Arc::clone(&self.queries),
+            stop: Arc::clone(&self.stop),
+            allow_reload: self.allow_reload,
+            theta: self.theta,
+            read_timeout: self.read_timeout,
+            max_line_bytes: self.max_line_bytes,
+        }
+    }
 }
 
 /// A running query server. Dropping it shuts it down.
@@ -86,8 +143,10 @@ pub struct Server {
     local_addr: SocketAddr,
     store: Arc<SnapshotStore>,
     queue: Arc<BatchQueue<Job>>,
+    registry: Arc<ConnRegistry>,
     stop: Arc<AtomicBool>,
     queries: Arc<AtomicU64>,
+    metrics: Metrics,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -114,10 +173,12 @@ impl Server {
             target: config.addr.clone(),
             detail: e.to_string(),
         })?;
-        let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::new());
+        let queue: Arc<BatchQueue<Job>> = Arc::new(BatchQueue::bounded(config.queue_max));
+        let registry = Arc::new(ConnRegistry::new());
         let stop = Arc::new(AtomicBool::new(false));
         let queries = Arc::new(AtomicU64::new(0));
         metrics.gauge("serve.snapshot_generation", store.generation() as f64);
+        metrics.gauge("serve.connections", 0.0);
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -133,21 +194,27 @@ impl Server {
             let shared = ConnShared {
                 store: Arc::clone(&store),
                 queue: Arc::clone(&queue),
-                metrics,
+                metrics: metrics.clone(),
                 queries: Arc::clone(&queries),
+                stop: Arc::clone(&stop),
                 allow_reload: config.allow_reload,
                 theta: config.theta,
+                read_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+                max_line_bytes: config.max_line_bytes.max(1),
             };
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &shared, &stop))
+            let registry = Arc::clone(&registry);
+            let max_conns = config.max_conns;
+            std::thread::spawn(move || accept_loop(&listener, &shared, &registry, max_conns))
         };
 
         Ok(Server {
             local_addr,
             store,
             queue,
+            registry,
             stop,
             queries,
+            metrics,
             acceptor: Some(acceptor),
             workers,
         })
@@ -168,7 +235,13 @@ impl Server {
         self.queries.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, drain queued work, and join the threads.
+    /// Connections currently live (after reaping finished readers).
+    pub fn active_connections(&self) -> usize {
+        self.registry.active()
+    }
+
+    /// Stop accepting, drain in-flight work, and join **every** thread
+    /// the server spawned — acceptor, connection readers, and workers.
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
@@ -182,10 +255,15 @@ impl Server {
         // listener is somehow unreachable the acceptor is already dead.
         let _ = TcpStream::connect(self.local_addr);
         let _ = acceptor.join();
+        // Socket shutdown unblocks readers parked in read/write right
+        // now; every reader thread is joined before the queue closes,
+        // so replies for already-admitted jobs still flow.
+        self.registry.drain_all();
         self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.metrics.gauge("serve.connections", 0.0);
     }
 }
 
@@ -195,9 +273,14 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &ConnShared, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &ConnShared,
+    registry: &Arc<ConnRegistry>,
+    max_conns: usize,
+) {
     for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = conn else {
@@ -206,16 +289,97 @@ fn accept_loop(listener: &TcpListener, shared: &ConnShared, stop: &Arc<AtomicBoo
         // One-line requests and responses are far below the MSS; Nagle
         // plus delayed ACKs would stall every round trip ~40ms.
         let _ = stream.set_nodelay(true);
-        let conn_shared = ConnShared {
-            store: Arc::clone(&shared.store),
-            queue: Arc::clone(&shared.queue),
-            metrics: shared.metrics.clone(),
-            queries: Arc::clone(&shared.queries),
-            allow_reload: shared.allow_reload,
-            theta: shared.theta,
+        // Socket timeouts make every blocking read/write finite; the
+        // per-line deadline (which a trickle cannot reset) rides on top.
+        let _ = stream.set_read_timeout(Some(shared.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.read_timeout));
+        let Some(admission) = registry.admit(&stream, max_conns) else {
+            // At the cap: shed with the typed response and hang up.
+            // The write is bounded by the write timeout just set.
+            shared.metrics.inc("serve.shed");
+            let mut stream = stream;
+            let _ = stream.write_all(crate::protocol::OVERLOADED.as_bytes());
+            let _ = stream.write_all(b"\n");
+            shared
+                .metrics
+                .gauge("serve.connections", registry.active() as f64);
+            continue;
         };
-        // Detached: exits on client hangup or queue close.
-        std::thread::spawn(move || connection_loop(stream, &conn_shared));
+        shared
+            .metrics
+            .gauge("serve.connections", registry.active() as f64);
+        let conn_shared = shared.clone_for_conn();
+        let ticket = admission.ticket;
+        let handle = std::thread::spawn(move || {
+            // The ticket's drop marks the slot reapable even if the
+            // reader exits early or panics.
+            let _ticket = ticket;
+            connection_loop(stream, &conn_shared);
+        });
+        registry.attach(admission.id, handle);
+    }
+}
+
+/// How one attempt to read a request line ended.
+enum LineRead {
+    /// A complete line is in the buffer.
+    Line,
+    /// The peer closed (or the socket was shut down for drain).
+    Eof,
+    /// The line outgrew `max_line_bytes` before its newline.
+    TooLong,
+    /// The read budget expired (idle holder or slow-loris trickle).
+    TimedOut,
+    /// The connection failed mid-read.
+    ConnErr,
+}
+
+/// Read one newline-terminated request line into `raw` (cleared
+/// first), enforcing the length cap and the end-to-end deadline.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    raw: &mut Vec<u8>,
+    max_line_bytes: usize,
+    budget: Duration,
+) -> LineRead {
+    raw.clear();
+    let deadline = Deadline::within(budget);
+    loop {
+        let (consumed, complete) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return LineRead::TimedOut;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return LineRead::ConnErr,
+            };
+            if buf.is_empty() {
+                return LineRead::Eof;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    raw.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    raw.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        // The cap check sits after the copy: `raw` can overshoot by at
+        // most one BufReader chunk, which keeps it O(max_line_bytes).
+        if raw.len() > max_line_bytes {
+            return LineRead::TooLong;
+        }
+        if complete {
+            return LineRead::Line;
+        }
+        if deadline.expired() {
+            return LineRead::TimedOut;
+        }
     }
 }
 
@@ -226,35 +390,73 @@ fn connection_loop(stream: TcpStream, shared: &ConnShared) {
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
-    let mut line = String::new();
+    let mut raw: Vec<u8> = Vec::new();
     let mut buf = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or connection error
-            Ok(_) => {}
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
         }
+        match read_request_line(
+            &mut reader,
+            &mut raw,
+            shared.max_line_bytes,
+            shared.read_timeout,
+        ) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::ConnErr => return,
+            LineRead::TimedOut => {
+                shared.metrics.inc("serve.timeouts");
+                render_timeout(&mut buf);
+                buf.push('\n');
+                let _ = writer.write_all(buf.as_bytes());
+                return;
+            }
+            LineRead::TooLong => {
+                shared.metrics.inc("serve.oversized");
+                render_line_too_long(&mut buf, shared.max_line_bytes);
+                buf.push('\n');
+                let _ = writer.write_all(buf.as_bytes());
+                return;
+            }
+        }
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            render_error(&mut buf, "request line is not valid UTF-8");
+            buf.push('\n');
+            if writer.write_all(buf.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+            continue;
+        };
         if line.trim().is_empty() {
             continue;
         }
         let response_ready = match parse_request(line.trim_end()) {
             Ok(Request::Lookup { hash }) => {
-                shared.queries.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.inc("serve.queries");
                 let job = Job {
                     hash,
                     span: shared.metrics.span("serve/query"),
                     reply: reply_tx.clone(),
                 };
-                if !shared.queue.push(job) {
-                    return; // shutting down; drop the connection
-                }
-                match reply_rx.recv() {
-                    Ok(resp) => {
-                        buf = resp;
+                match shared.queue.try_push(job) {
+                    Push::Accepted => {
+                        shared.queries.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.inc("serve.queries");
+                        match reply_rx.recv() {
+                            Ok(resp) => {
+                                buf = resp;
+                                true
+                            }
+                            Err(_) => return, // workers gone mid-request
+                        }
+                    }
+                    Push::Full => {
+                        // Backpressure: shed this request typed, keep
+                        // the connection — the client may retry later.
+                        shared.metrics.inc("serve.shed");
+                        render_overloaded(&mut buf);
                         true
                     }
-                    Err(_) => return, // workers gone mid-request
+                    Push::Closed => return, // shutting down
                 }
             }
             Ok(Request::Stats) => {
@@ -463,5 +665,138 @@ mod tests {
         drop(stream);
         drop(reader);
         server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_gets_typed_timeout_then_close() {
+        let (store, _) = tiny_store();
+        let config = ServerConfig {
+            read_timeout_ms: 150,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(store, config, Metrics::enabled()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        // Send nothing: the typed timeout arrives, then EOF.
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), crate::protocol::READ_TIMEOUT);
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_cannot_outlive_the_line_deadline() {
+        let (store, _) = tiny_store();
+        let config = ServerConfig {
+            read_timeout_ms: 200,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(store, config, Metrics::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // Trickle bytes faster than any socket timeout, never a newline:
+        // only the end-to-end deadline can catch this.
+        let trickler = std::thread::spawn(move || {
+            for _ in 0..40 {
+                if stream.write_all(b"x").is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), crate::protocol::READ_TIMEOUT);
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+        trickler.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_typed_with_bounded_buffering() {
+        let (store, _) = tiny_store();
+        let config = ServerConfig {
+            max_line_bytes: 512,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(store, config, Metrics::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        // 4 KiB without a newline: rejected long before it all buffers.
+        let blob = vec![b'a'; 4096];
+        let _ = stream.write_all(&blob);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("512 bytes"), "{line}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_typed_and_keeps_admitted_traffic_working() {
+        let (store, medoids) = tiny_store();
+        let config = ServerConfig {
+            max_conns: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(store, config, Metrics::enabled()).unwrap();
+        let mut admitted = TcpStream::connect(server.local_addr()).unwrap();
+        let mut admitted_reader = BufReader::new(admitted.try_clone().unwrap());
+        // Prove the first connection is registered before the second
+        // arrives by completing a round trip on it.
+        let m = medoids[0];
+        let doc = roundtrip(
+            &mut admitted,
+            &mut admitted_reader,
+            &format!("{{\"hash\":\"{m}\"}}"),
+        );
+        assert_eq!(field(&doc, "found"), &Value::Bool(true));
+        assert_eq!(server.active_connections(), 1);
+
+        let shed = TcpStream::connect(server.local_addr()).unwrap();
+        let mut shed_reader = BufReader::new(shed);
+        let mut line = String::new();
+        shed_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), crate::protocol::OVERLOADED);
+        line.clear();
+        assert_eq!(shed_reader.read_line(&mut line).unwrap(), 0);
+
+        // The admitted connection never noticed.
+        let doc = roundtrip(
+            &mut admitted,
+            &mut admitted_reader,
+            &format!("{{\"hash\":\"{m}\"}}"),
+        );
+        assert_eq!(field(&doc, "found"), &Value::Bool(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_readers_even_with_connections_parked() {
+        let (store, medoids) = tiny_store();
+        let server = Server::start(store, ServerConfig::default(), Metrics::enabled()).unwrap();
+        // Three connections: one mid-conversation, two idle holders.
+        let mut active = TcpStream::connect(server.local_addr()).unwrap();
+        let mut active_reader = BufReader::new(active.try_clone().unwrap());
+        let idle_a = TcpStream::connect(server.local_addr()).unwrap();
+        let idle_b = TcpStream::connect(server.local_addr()).unwrap();
+        let m = medoids[0];
+        let doc = roundtrip(
+            &mut active,
+            &mut active_reader,
+            &format!("{{\"hash\":\"{m}\"}}"),
+        );
+        assert_eq!(field(&doc, "found"), &Value::Bool(true));
+        assert!(server.active_connections() >= 1);
+
+        // shutdown() must return promptly (drain shuts the sockets; no
+        // reader waits out its timeout) with every thread joined.
+        server.shutdown();
+        drop(idle_a);
+        drop(idle_b);
     }
 }

@@ -181,6 +181,43 @@ impl SimScale {
     }
 }
 
+/// Why a [`SimConfig`] cannot generate a dataset.
+///
+/// Historically an invalid horizon was only caught deep inside
+/// `Dataset::generate` — `horizon <= 0` underflowed `horizon_days - 1`
+/// (a panic) and a NaN horizon silently truncated to `horizon_days = 0`
+/// via `as usize`. Validation now rejects both up front with a typed
+/// error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimConfigError {
+    /// `cascade.horizon` must be finite and strictly positive (days).
+    InvalidHorizon {
+        /// The offending value (NaN survives the round-trip as NaN).
+        horizon: f64,
+    },
+    /// A community has no [`CommunityProfile`] in `profiles`.
+    MissingProfile {
+        /// The community without a profile.
+        community: Community,
+    },
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidHorizon { horizon } => write!(
+                f,
+                "cascade.horizon must be finite and positive, got {horizon}"
+            ),
+            Self::MissingProfile { community } => {
+                write!(f, "no community profile for {}", community.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -226,7 +263,32 @@ impl SimConfig {
         Self::new(SimScale::Default, seed)
     }
 
+    /// Check the configuration without generating anything.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        let horizon = self.cascade.horizon;
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimConfigError::InvalidHorizon { horizon });
+        }
+        for community in Community::ALL {
+            if !self.profiles.iter().any(|p| p.community == community) {
+                return Err(SimConfigError::MissingProfile { community });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate the dataset, rejecting an invalid configuration with a
+    /// typed error instead of panicking mid-generation.
+    pub fn try_generate(&self) -> Result<Dataset, SimConfigError> {
+        Dataset::try_generate(self.clone())
+    }
+
     /// Generate the dataset.
+    ///
+    /// # Panics
+    /// Panics when [`validate`](Self::validate) rejects the
+    /// configuration; use [`try_generate`](Self::try_generate) for a
+    /// typed error.
     pub fn generate(&self) -> Dataset {
         Dataset::generate(self.clone())
     }
@@ -252,7 +314,19 @@ pub struct Dataset {
 
 impl Dataset {
     /// Generate a dataset from a configuration.
+    ///
+    /// # Panics
+    /// Panics when [`SimConfig::validate`] rejects the configuration;
+    /// use [`try_generate`](Self::try_generate) for a typed error.
     pub fn generate(config: SimConfig) -> Dataset {
+        Self::try_generate(config).expect("invalid SimConfig")
+    }
+
+    /// Generate a dataset, returning a typed error for an invalid
+    /// configuration (non-finite or non-positive horizon, missing
+    /// community profile) instead of panicking mid-generation.
+    pub fn try_generate(config: SimConfig) -> Result<Dataset, SimConfigError> {
+        config.validate()?;
         let seed = config.seed;
         let universe = Universe::generate(&config.universe, child_seed(seed, 1));
         let kym_raw = generate_kym(&universe, &config.kym, child_seed(seed, 2));
@@ -463,14 +537,14 @@ impl Dataset {
             }
         }
 
-        Dataset {
+        Ok(Dataset {
             config,
             horizon_days,
             universe,
             posts,
             daily_totals,
             kym_raw,
-        }
+        })
     }
 
     /// Render one post's image.
@@ -566,6 +640,49 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let a = SimConfig::tiny(5).generate();
+        let b = SimConfig::tiny(5).generate();
+        assert_eq!(a.posts, b.posts);
+        assert_eq!(a.daily_totals, b.daily_totals);
+    }
+
+    /// Regression: `horizon <= 0` used to underflow `horizon_days - 1`
+    /// (a usize panic deep in generation) and a NaN horizon silently
+    /// produced `horizon_days = 0` via `as usize`. Both are now typed
+    /// validation errors.
+    #[test]
+    fn degenerate_horizons_are_typed_errors() {
+        for horizon in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut config = SimConfig::tiny(1);
+            config.cascade.horizon = horizon;
+            assert!(
+                matches!(
+                    config.validate(),
+                    Err(SimConfigError::InvalidHorizon { .. })
+                ),
+                "horizon {horizon} must fail validation"
+            );
+            assert!(
+                config.try_generate().is_err(),
+                "horizon {horizon} must not generate"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_profile_is_a_typed_error() {
+        let mut config = SimConfig::tiny(1);
+        config.profiles.retain(|p| p.community != Community::Gab);
+        match config.validate() {
+            Err(SimConfigError::MissingProfile { community }) => {
+                assert_eq!(community, Community::Gab);
+            }
+            other => panic!("expected MissingProfile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_generate_matches_generate() {
+        let a = SimConfig::tiny(5).try_generate().expect("valid config");
         let b = SimConfig::tiny(5).generate();
         assert_eq!(a.posts, b.posts);
         assert_eq!(a.daily_totals, b.daily_totals);

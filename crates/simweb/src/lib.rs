@@ -38,7 +38,9 @@ pub mod universe;
 
 pub use cascade::{generate_cascade, CascadeConfig, CascadeEvent};
 pub use community::{Community, CommunityProfile, ScreenshotPlatform, SUBREDDITS};
-pub use dataset::{Dataset, ImageRef, Post, PostTruth, SimConfig, SimScale, IMAGE_SIZE};
+pub use dataset::{
+    Dataset, ImageRef, Post, PostTruth, SimConfig, SimConfigError, SimScale, IMAGE_SIZE,
+};
 pub use execfault::{
     ExecFaultSpec, ExecItemFault, ExecStageFault, ExecWriteFault, ItemFaultRule, StageFaultRule,
     WriteFaultRule,

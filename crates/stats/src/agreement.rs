@@ -15,14 +15,12 @@
 /// result is exactly `1.0`; chance-level agreement gives ~`0.0`.
 pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> Option<f64> {
     let n = ratings.len();
-    if n == 0 {
-        return None;
-    }
-    let k = ratings[0].len();
+    let first = ratings.first()?;
+    let k = first.len();
     if k < 2 {
         return None;
     }
-    let r: usize = ratings[0].iter().sum();
+    let r: usize = first.iter().sum();
     if r < 2 {
         return None;
     }

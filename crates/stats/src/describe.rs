@@ -36,20 +36,21 @@ impl Summary {
         let mean = sample.iter().sum::<f64>() / n as f64;
         let variance = sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
             (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
         };
+        let (&min, &max) = (sorted.first()?, sorted.last()?);
         Some(Self {
             n,
             mean,
             median,
             variance,
             std_dev: variance.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
+            min,
+            max,
         })
     }
 

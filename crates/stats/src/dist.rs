@@ -170,7 +170,9 @@ impl Zipf {
             *c /= total;
         }
         // Guard against floating-point shortfall at the top.
-        *cdf.last_mut().expect("n >= 1") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Ok(Self { cdf })
     }
 
@@ -194,10 +196,7 @@ impl Distribution<usize> for Zipf {
     /// Returns a 1-based rank in `1..=n`.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        let i = match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
+        let i = match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i,
         };
         (i + 1).min(self.cdf.len())
@@ -489,10 +488,11 @@ pub fn ln_gamma(x: f64) -> f64 {
         return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut a = COEF[0];
+    let [first, tail @ ..] = COEF;
+    let mut a = first;
     let t = x + 7.5;
-    for (i, &c) in COEF.iter().enumerate().skip(1) {
-        a += c / (x + i as f64);
+    for (i, &c) in tail.iter().enumerate() {
+        a += c / (x + (i + 1) as f64);
     }
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
 }

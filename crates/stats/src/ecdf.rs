@@ -22,7 +22,7 @@ impl Ecdf {
         if sample.is_empty() || sample.iter().any(|x| x.is_nan()) {
             return None;
         }
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        sample.sort_by(f64::total_cmp);
         Some(Self { sorted: sample })
     }
 
@@ -70,12 +70,13 @@ impl Ecdf {
 
     /// Minimum observation.
     pub fn min(&self) -> f64 {
-        self.sorted[0]
+        // A constructed Ecdf is never empty; NaN is the inert fallback.
+        self.sorted.first().copied().unwrap_or(f64::NAN)
     }
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        self.sorted.last().copied().unwrap_or(f64::NAN)
     }
 
     /// The sorted underlying sample.

@@ -43,8 +43,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
     }
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
-    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
 
     let (n1, n2) = (xs.len(), ys.len());
     let (mut i, mut j) = (0usize, 0usize);

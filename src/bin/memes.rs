@@ -15,7 +15,8 @@
 //! memes quarantine replay FILE --scale small --seed 7
 //! memes validate-metrics BENCH_run.json
 //! memes serve    --artifact run.json [--addr 127.0.0.1:0] [--workers N]
-//!                [--reload] [--scale small --seed 7]
+//!                [--reload] [--max-conns N] [--read-timeout-ms MS]
+//!                [--max-line-bytes N] [--scale small --seed 7]
 //! memes lookup   HASH (--artifact run.json | --addr HOST:PORT)
 //! ```
 //!
@@ -49,7 +50,12 @@
 //! picks a free port; the chosen address is printed to stdout as
 //! `serving on HOST:PORT` so scripts and tests can discover it.
 //! `--reload` lets clients hot-swap a new artifact in without dropping
-//! connections. When `--scale`/`--seed` describe the run that produced
+//! connections. The connection lifecycle is bounded: at most
+//! `--max-conns` concurrent clients (excess accepts are shed with
+//! `{"error":"overloaded"}`), each request line must finish within
+//! `--read-timeout-ms` (`{"error":"read timeout"}`, then close) and
+//! stay under `--max-line-bytes` (typed rejection, then close). When
+//! `--scale`/`--seed` describe the run that produced
 //! the artifact, the dataset is regenerated and Step-7 influence
 //! profiles are served alongside each hit. `memes lookup HASH` answers
 //! one query — in process with `--artifact`, or against a running
@@ -111,6 +117,9 @@ struct Args {
     addr: Option<String>,
     workers: usize,
     reload: bool,
+    max_conns: usize,
+    read_timeout_ms: u64,
+    max_line_bytes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -133,6 +142,9 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         workers: 2,
         reload: false,
+        max_conns: ServerConfig::default().max_conns,
+        read_timeout_ms: ServerConfig::default().read_timeout_ms,
+        max_line_bytes: ServerConfig::default().max_line_bytes,
     };
     if args.command == "validate-metrics" {
         // Takes one positional FILE argument instead of flags; it is
@@ -207,6 +219,30 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--workers needs an integer")?;
             }
+            "--max-conns" => {
+                i += 1;
+                args.max_conns = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-conns needs a positive integer")?;
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                args.read_timeout_ms = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--read-timeout-ms needs a positive integer")?;
+            }
+            "--max-line-bytes" => {
+                i += 1;
+                args.max_line_bytes = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--max-line-bytes needs a positive integer")?;
+            }
             "--reload" => args.reload = true,
             "--train-filter" => args.train_filter = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -254,7 +290,8 @@ fn usage() -> String {
      \u{20}      memes quarantine <ls|replay> FILE [--scale S --seed N]\n\
      \u{20}      memes validate-metrics FILE\n\
      \u{20}      memes serve --artifact PATH [--addr HOST:PORT] [--workers N] \
-     [--reload] [--scale S --seed N]\n\
+     [--reload] [--max-conns N] [--read-timeout-ms MS] [--max-line-bytes N] \
+     [--scale S --seed N]\n\
      \u{20}      memes lookup HASH (--artifact PATH | --addr HOST:PORT)"
         .to_string()
 }
@@ -530,6 +567,9 @@ fn cmd_serve(args: &Args) -> ExitCode {
             .unwrap_or_else(|| "127.0.0.1:0".to_string()),
         workers: args.workers,
         allow_reload: args.reload,
+        max_conns: args.max_conns,
+        read_timeout_ms: args.read_timeout_ms,
+        max_line_bytes: args.max_line_bytes,
         ..ServerConfig::default()
     };
     let server = match Server::start(store, config, Metrics::disabled()) {

@@ -40,6 +40,38 @@ fn memes(args: &[&str]) -> Output {
         .expect("spawn memes")
 }
 
+/// Spawn `memes serve` with extra flags and return the child plus the
+/// bound address parsed from the startup banner.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    let (path, _) = artifact();
+    let mut server = Command::new(env!("CARGO_BIN_EXE_memes"))
+        .args(["serve", "--artifact", path.to_str().unwrap()])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn memes serve");
+    let mut line = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("read serve banner");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (server, addr)
+}
+
+/// Read one newline-terminated response from the server.
+fn read_response(stream: &std::net::TcpStream) -> String {
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut line)
+        .expect("read response line");
+    line.trim_end().to_string()
+}
+
 fn exit_code(out: &Output) -> i32 {
     out.status.code().expect("memes terminated by signal")
 }
@@ -100,6 +132,130 @@ fn serve_answers_remote_lookups_on_a_discovered_port() {
     );
     assert!(String::from_utf8_lossy(&hit.stdout).contains("\"found\":true"));
     assert_eq!(exit_code(&miss), 1);
+}
+
+#[test]
+fn serve_times_out_idle_clients_with_a_typed_error() {
+    let (mut server, addr) = spawn_serve(&["--read-timeout-ms", "300"]);
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    // Send nothing: the per-line read budget expires and the server
+    // answers with the typed timeout, then closes the connection.
+    let response = read_response(&stream);
+    assert_eq!(response, r#"{"error":"read timeout"}"#);
+    use std::io::Read;
+    let mut rest = Vec::new();
+    let n = stream
+        .try_clone()
+        .expect("clone stream")
+        .read_to_end(&mut rest)
+        .unwrap_or(0);
+    assert_eq!(n, 0, "connection closes after the timeout");
+    server.kill().expect("kill memes serve");
+    let _ = server.wait();
+}
+
+#[test]
+fn serve_rejects_oversized_request_lines() {
+    let (mut server, addr) = spawn_serve(&["--max-line-bytes", "4096"]);
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    use std::io::Write;
+    // A newline-free blob past the cap: the server must reject it with
+    // a typed error naming the limit rather than buffer indefinitely.
+    let blob = vec![b'a'; 16 * 1024];
+    let _ = stream.write_all(&blob);
+    let _ = stream.flush();
+    let response = read_response(&stream);
+    assert!(
+        response.contains("exceeds") && response.contains("4096"),
+        "typed oversize rejection names the cap: {response}"
+    );
+    server.kill().expect("kill memes serve");
+    let _ = server.wait();
+}
+
+#[test]
+fn serve_sheds_connections_past_the_cap_with_a_typed_error() {
+    let (_, medoid) = artifact();
+    let (mut server, addr) = spawn_serve(&["--max-conns", "2"]);
+    // Prove both slots are held by live, *working* connections first:
+    // each holder completes a lookup and stays open.
+    let holders: Vec<std::net::TcpStream> = (0..2)
+        .map(|_| {
+            let mut s = std::net::TcpStream::connect(&addr).expect("holder connects");
+            use std::io::Write;
+            s.write_all(format!("{{\"hash\": \"{medoid}\"}}\n").as_bytes())
+                .expect("send lookup");
+            let response = read_response(&s);
+            assert!(
+                response.starts_with("{\"found\""),
+                "lookup answered: {response}"
+            );
+            s
+        })
+        .collect();
+    // With the cap provably full, the next accept is shed typed.
+    let shed = std::net::TcpStream::connect(&addr).expect("third connects");
+    let response = read_response(&shed);
+    assert_eq!(response, r#"{"error":"overloaded"}"#);
+    drop(holders);
+    server.kill().expect("kill memes serve");
+    let _ = server.wait();
+}
+
+/// In-process twin of the spawned-server tests: `Server::shutdown` must
+/// join the acceptor, every worker, and every connection reader — the
+/// process thread count returns exactly to its pre-start baseline.
+#[test]
+fn shutdown_joins_every_reader_thread() {
+    use origins_of_memes::metrics::Metrics;
+    use origins_of_memes::serve::{Server, ServerConfig, Snapshot, SnapshotStore, DEFAULT_THETA};
+    use std::sync::Arc;
+
+    fn live_threads() -> Option<usize> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    }
+
+    // Build the snapshot (and warm the shared artifact) *before* taking
+    // the thread baseline, so pipeline internals cannot skew the count.
+    let _ = artifact();
+    let dataset = SimConfig::tiny(17).generate();
+    let output = Pipeline::new(PipelineConfig::fast()).run(&dataset).unwrap();
+    let snapshot = Snapshot::build(&output, None, DEFAULT_THETA, 0).expect("snapshot builds");
+    let store = Arc::new(SnapshotStore::new(snapshot));
+    let Some(baseline) = live_threads() else {
+        return; // no procfs — nothing to assert on this platform
+    };
+
+    let config = ServerConfig {
+        workers: 2,
+        read_timeout_ms: 5_000,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(store, config, Metrics::disabled()).expect("start server");
+    let addr = server.local_addr();
+    // Park idle readers, then shut down underneath them.
+    let holders: Vec<std::net::TcpStream> = (0..3)
+        .map(|_| std::net::TcpStream::connect(addr).expect("holder connects"))
+        .collect();
+    while server.active_connections() < 3 {
+        std::thread::yield_now();
+    }
+    assert!(live_threads().unwrap_or(0) > baseline, "readers are live");
+
+    server.shutdown();
+    // Tests in this binary run in parallel, so unrelated harness
+    // threads may *exit* between the two measurements — but any leaked
+    // server thread would push the count strictly above the baseline.
+    let after = live_threads().unwrap_or(0);
+    assert!(
+        after <= baseline,
+        "shutdown must join every server thread: {after} > {baseline}"
+    );
+    drop(holders);
 }
 
 #[test]
